@@ -1,0 +1,117 @@
+//! Heap-allocated activation records, shared by the heap and hybrid models.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use segstack_core::StackSlot;
+
+/// A heap-allocated activation record (paper Figure 1).
+///
+/// Slot 0 holds the frame's return address, exactly as for stack frames;
+/// the explicit `link` field is the dynamic link the paper's segmented
+/// model avoids ("the frame pointer must be saved and restored on each
+/// call, resulting in an extra memory write and read for each recursive
+/// call", §2).
+pub struct HeapFrame<S: StackSlot> {
+    /// The caller's frame, or `None` for the initial frame.
+    pub link: Option<Rc<HeapFrame<S>>>,
+    /// Frame slots; index 0 is the return-address word.
+    pub slots: RefCell<Vec<S>>,
+}
+
+impl<S: StackSlot> HeapFrame<S> {
+    /// Allocates a frame with the given link and initial slots.
+    pub fn new(link: Option<Rc<HeapFrame<S>>>, slots: Vec<S>) -> Rc<Self> {
+        Rc::new(HeapFrame { link, slots: RefCell::new(slots) })
+    }
+
+    /// Reads slot `i`, yielding the empty slot for indices never written.
+    pub fn get(&self, i: usize) -> S {
+        self.slots.borrow().get(i).cloned().unwrap_or_else(S::empty)
+    }
+
+    /// Writes slot `i`, growing the frame as needed.
+    pub fn set(&self, i: usize, v: S) {
+        let mut slots = self.slots.borrow_mut();
+        if i >= slots.len() {
+            slots.resize_with(i + 1, S::empty);
+        }
+        slots[i] = v;
+    }
+
+    /// Number of frames in the chain starting here.
+    pub fn chain_len(self: &Rc<Self>) -> usize {
+        let mut n = 0;
+        let mut cur = Some(self.clone());
+        while let Some(f) = cur {
+            n += 1;
+            cur = f.link.clone();
+        }
+        n
+    }
+
+    /// Total slots held by the chain starting here.
+    pub fn chain_slots(self: &Rc<Self>) -> usize {
+        let mut n = 0;
+        let mut cur = Some(self.clone());
+        while let Some(f) = cur {
+            n += f.slots.borrow().len();
+            cur = f.link.clone();
+        }
+        n
+    }
+}
+
+impl<S: StackSlot> Drop for HeapFrame<S> {
+    fn drop(&mut self) {
+        // Dynamic-link chains are as long as the recursion was deep, and
+        // frame slots may hold continuation values whose saved frames hold
+        // further continuations; free both iteratively. Shared links are a
+        // plain refcount decrement.
+        if let Some(link) = self.link.take() {
+            if Rc::strong_count(&link) == 1 {
+                segstack_core::defer_drop(link);
+            }
+        }
+        let slots = std::mem::take(&mut *self.slots.borrow_mut());
+        if !slots.is_empty() {
+            segstack_core::defer_drop(slots);
+        }
+    }
+}
+
+impl<S: StackSlot> fmt::Debug for HeapFrame<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeapFrame")
+            .field("slots", &self.slots.borrow().len())
+            .field("linked", &self.link.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segstack_core::TestSlot;
+
+    #[test]
+    fn get_and_set_grow_on_demand() {
+        let f = HeapFrame::<TestSlot>::new(None, Vec::new());
+        assert_eq!(f.get(3), TestSlot::Empty);
+        f.set(3, TestSlot::Int(7));
+        assert_eq!(f.get(3), TestSlot::Int(7));
+        assert_eq!(f.get(0), TestSlot::Empty);
+        assert_eq!(f.slots.borrow().len(), 4);
+    }
+
+    #[test]
+    fn chain_measurements() {
+        let a = HeapFrame::<TestSlot>::new(None, vec![TestSlot::Empty; 2]);
+        let b = HeapFrame::new(Some(a.clone()), vec![TestSlot::Empty; 3]);
+        let c = HeapFrame::new(Some(b.clone()), vec![TestSlot::Empty; 5]);
+        assert_eq!(c.chain_len(), 3);
+        assert_eq!(c.chain_slots(), 10);
+        assert_eq!(a.chain_len(), 1);
+    }
+}

@@ -1,0 +1,612 @@
+//! The hybrid stack/heap model (Clinger, Hartheimer & Ost 1988; paper §6).
+//!
+//! Frames are allocated on a stack and *moved into a heap-allocated linked
+//! list when a continuation is created*. The list stays in the heap
+//! indefinitely; frames are never copied back onto the stack — execution
+//! returns *into* heap frames. Its advantage is that "there is never more
+//! than one copy of a given frame"; its costs, which this implementation
+//! pays faithfully, are that every return must check whether it returns to
+//! a stack frame or a heap frame, objects with dynamic extent cannot be
+//! stack allocated (frames move on capture), and the stack must be kept
+//! small to bound capture cost.
+
+use std::any::Any;
+use std::rc::Rc;
+
+use segstack_core::{
+    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics,
+    ReturnAddress, StackError, StackSlot, StackStats,
+};
+
+use crate::frames::HeapFrame;
+
+/// Continuation representation of the hybrid model: the head of the heap
+/// frame list plus the resume address. Because frames were *moved* (not
+/// copied) into the heap, capture after the first one is O(1) until new
+/// stack frames accumulate.
+#[derive(Debug)]
+struct HybridKont<S: StackSlot> {
+    frame: Rc<HeapFrame<S>>,
+    ra: CodeAddr,
+}
+
+impl<S: StackSlot> KontRepr<S> for HybridKont<S> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn retained_slots(&self) -> usize {
+        self.frame.chain_slots()
+    }
+
+    fn chain_len(&self) -> usize {
+        self.frame.chain_len()
+    }
+
+    fn strategy(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+/// Where execution currently lives.
+#[derive(Debug)]
+enum Mode<S: StackSlot> {
+    /// Current frame on the stack; `deep` is the heap chain beneath the
+    /// stack's bottom frame.
+    Stack { deep: Option<Rc<HeapFrame<S>>> },
+    /// Current frame in the heap (we returned into a migrated frame).
+    Heap(Rc<HeapFrame<S>>),
+}
+
+/// Control-stack strategy with stack allocation and migrate-to-heap
+/// continuation capture (the Clinger et al. hybrid).
+///
+/// `cfg.segment_slots()` is the stack size; the model itself requires it to
+/// be small "so that the cost of creating a continuation is bounded" (§6) —
+/// at the price of more frequent overflow migrations.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_baselines::HybridStack;
+/// use segstack_core::{Config, ControlStack, TestCode, TestSlot, sim};
+/// use std::rc::Rc;
+///
+/// let code = Rc::new(TestCode::new());
+/// let cfg = Config::builder().segment_slots(512).frame_bound(16).build()?;
+/// let mut stack = HybridStack::<TestSlot>::new(cfg, code.clone());
+/// sim::push_frames(&mut stack, &code, 10, 4);
+/// let k = stack.capture(); // migrates the 10 stack frames into the heap
+/// assert_eq!(stack.metrics().heap_frames_allocated, 10); // callers + initial frame
+/// let _ = k;
+/// # Ok::<(), segstack_core::StackError>(())
+/// ```
+pub struct HybridStack<S: StackSlot> {
+    code: Rc<dyn FrameSizeTable>,
+    cfg: Config,
+    buf: Vec<S>,
+    fp: usize,
+    mode: Mode<S>,
+    metrics: Metrics,
+}
+
+impl<S: StackSlot> std::fmt::Debug for HybridStack<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridStack")
+            .field("fp", &self.fp)
+            .field("stack", &self.buf.len())
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+impl<S: StackSlot> HybridStack<S> {
+    /// Creates a hybrid stack with a stack buffer of `cfg.segment_slots()`
+    /// slots.
+    pub fn new(cfg: Config, code: Rc<dyn FrameSizeTable>) -> Self {
+        let mut buf: Vec<S> = std::iter::repeat_with(S::empty).take(cfg.segment_slots()).collect();
+        buf[0] = S::from_return_address(ReturnAddress::Exit);
+        HybridStack { code, cfg, buf, fp: 0, mode: Mode::Stack { deep: None }, metrics: Metrics::new() }
+    }
+
+    /// Returns `true` when the current frame lives in the heap (execution
+    /// returned into a migrated frame).
+    pub fn in_heap(&self) -> bool {
+        matches!(self.mode, Mode::Heap(_))
+    }
+
+    fn esp(&self) -> usize {
+        self.buf.len() - self.cfg.esp_reserve()
+    }
+
+    /// Migrates every stack frame below `fp` into the heap chain, on top of
+    /// the current `deep` chain. `live_ra` is the live frame's return
+    /// address (`buf[fp]`). Returns the new chain head (the live frame's
+    /// caller). The migrated frames are *moved*: this is the one-copy-only
+    /// property of the hybrid model.
+    fn migrate_below(&mut self, live_ra: CodeAddr) -> Rc<HeapFrame<S>> {
+        let Mode::Stack { deep } = &mut self.mode else {
+            unreachable!("migration only happens in stack mode")
+        };
+        // Collect frame extents top-down by walking displacement words.
+        let mut extents = Vec::new();
+        let mut top = self.fp;
+        let mut ra = live_ra;
+        loop {
+            let d = self.code.displacement(ra);
+            let b = top - d;
+            extents.push((b, top));
+            if b == 0 {
+                break;
+            }
+            ra = self.buf[b]
+                .as_return_address()
+                .expect("frame base must hold a return address")
+                .code()
+                .expect("hybrid stack frames above the base hold code return addresses");
+            top = b;
+        }
+        // Build heap frames bottom-up.
+        let mut parent = deep.take();
+        for &(b, t) in extents.iter().rev() {
+            let slots = self.buf[b..t].to_vec();
+            self.metrics.heap_frames_allocated += 1;
+            self.metrics.heap_slots_allocated += (t - b) as u64;
+            self.metrics.slots_copied += (t - b) as u64;
+            parent = Some(HeapFrame::new(parent, slots));
+        }
+        parent.expect("at least the base frame was migrated")
+    }
+
+    /// Ensures the heap frame we are about to execute in is privately
+    /// owned: if a captured continuation still references it, clone it so
+    /// the continuation's view stays frozen (frames in the heap list are
+    /// immutable once shared, §6). Bounded by the frame size.
+    fn make_private_heap(&mut self) {
+        let Mode::Heap(h) = &self.mode else { return };
+        if Rc::strong_count(h) > 1 {
+            let slots = h.slots.borrow().clone();
+            self.metrics.heap_frames_allocated += 1;
+            self.metrics.heap_slots_allocated += slots.len() as u64;
+            self.metrics.slots_copied += slots.len() as u64;
+            self.mode = Mode::Heap(HeapFrame::new(h.link.clone(), slots));
+        }
+    }
+
+    /// Slides `width` slots of the live frame from `fp` down to the stack
+    /// base after a migration.
+    fn slide_live_frame(&mut self, width: usize) {
+        let width = width.min(self.buf.len() - self.fp);
+        for i in 0..width {
+            self.buf[i] = self.buf[self.fp + i].clone();
+        }
+        self.metrics.slots_copied += width as u64;
+        self.fp = 0;
+    }
+}
+
+impl<S: StackSlot> ControlStack<S> for HybridStack<S> {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn get(&self, i: usize) -> S {
+        match &self.mode {
+            Mode::Stack { .. } => self.buf[self.fp + i].clone(),
+            Mode::Heap(h) => h.get(i),
+        }
+    }
+
+    fn set(&mut self, i: usize, v: S) {
+        match &self.mode {
+            Mode::Stack { .. } => self.buf[self.fp + i] = v,
+            Mode::Heap(h) => h.set(i, v),
+        }
+    }
+
+    fn call(&mut self, d: usize, ra: CodeAddr, nargs: usize, check: bool)
+        -> Result<(), StackError>
+    {
+        debug_assert!(d >= 1);
+        self.metrics.calls += 1;
+        let bound = self.cfg.frame_bound();
+        if d > bound || 1 + nargs > bound {
+            return Err(StackError::FrameTooLarge { requested: d.max(1 + nargs), bound });
+        }
+        match &self.mode {
+            Mode::Heap(h) => {
+                // Push the callee at the stack base; the heap frame becomes
+                // the chain beneath the stack.
+                let h = h.clone();
+                self.buf[0] = S::from_return_address(ReturnAddress::Code(ra));
+                for j in 0..nargs {
+                    self.buf[1 + j] = h.get(d + 1 + j);
+                }
+                self.metrics.slots_copied += nargs as u64;
+                self.fp = 0;
+                self.mode = Mode::Stack { deep: Some(h) };
+                Ok(())
+            }
+            Mode::Stack { .. } => {
+                let new_fp = self.fp + d;
+                if check {
+                    self.metrics.checks_executed += 1;
+                    if new_fp > self.esp() {
+                        // Stack overflow: migrate everything below the live
+                        // frame into the heap and slide the live frame (and
+                        // the staged partial frame) to the base.
+                        self.metrics.overflows += 1;
+                        if self.fp > 0 {
+                            let live_ra = self.buf[self.fp]
+                                .as_return_address()
+                                .expect("frame base must hold a return address")
+                                .code()
+                                .expect("a frame above the stack base has a code return address");
+                            let head = self.migrate_below(live_ra);
+                            match &mut self.mode {
+                                Mode::Stack { deep } => *deep = Some(head),
+                                Mode::Heap(_) => unreachable!(),
+                            }
+                            self.slide_live_frame(d + 1 + nargs);
+                        }
+                        let new_fp = self.fp + d;
+                        self.buf[new_fp] = S::from_return_address(ReturnAddress::Code(ra));
+                        self.fp = new_fp;
+                        return Ok(());
+                    }
+                } else {
+                    self.metrics.checks_elided += 1;
+                }
+                self.buf[new_fp] = S::from_return_address(ReturnAddress::Code(ra));
+                self.fp = new_fp;
+                Ok(())
+            }
+        }
+    }
+
+    fn tail_call(&mut self, src: usize, nargs: usize) {
+        debug_assert!(src >= 1);
+        self.metrics.tail_calls += 1;
+        match &self.mode {
+            Mode::Stack { .. } => {
+                // Stack frames are private: reuse in place (the hybrid
+                // model's advantage over the pure heap model).
+                for j in 0..nargs {
+                    self.buf[self.fp + 1 + j] = self.buf[self.fp + src + j].clone();
+                }
+            }
+            Mode::Heap(h) => {
+                // Heap frames may be shared with captured continuations and
+                // can never be reused.
+                let h = h.clone();
+                let mut slots = Vec::with_capacity(1 + nargs);
+                slots.push(h.get(0));
+                for j in 0..nargs {
+                    slots.push(h.get(src + j));
+                }
+                self.metrics.slots_copied += nargs as u64;
+                self.metrics.heap_frames_allocated += 1;
+                self.metrics.heap_slots_allocated += (1 + nargs) as u64;
+                self.mode = Mode::Heap(HeapFrame::new(h.link.clone(), slots));
+            }
+        }
+    }
+
+    fn ret(&mut self) -> Result<ReturnAddress, StackError> {
+        self.metrics.returns += 1;
+        // Every return pays the "stack or heap?" check — the small extra
+        // return cost the paper attributes to this model (§6).
+        match &self.mode {
+            Mode::Stack { deep } => {
+                let ra = self.buf[self.fp]
+                    .as_return_address()
+                    .expect("frame base must hold a return address");
+                match ra {
+                    ReturnAddress::Code(r) => {
+                        if self.fp == 0 {
+                            // Returning off the stack into the heap chain.
+                            let h = deep.clone().expect("stack base with code ra implies a heap chain");
+                            self.mode = Mode::Heap(h);
+                            self.make_private_heap();
+                        } else {
+                            self.fp -= self.code.displacement(r);
+                        }
+                        Ok(ra)
+                    }
+                    ReturnAddress::Exit => Ok(ra),
+                    ReturnAddress::Underflow => {
+                        unreachable!("the hybrid model has no underflow handler")
+                    }
+                }
+            }
+            Mode::Heap(h) => {
+                let ra = h.get(0).as_return_address().expect("frame slot 0 must hold a return address");
+                match ra {
+                    ReturnAddress::Code(_) => {
+                        let link = h.link.clone().expect("a code return address implies a caller");
+                        self.mode = Mode::Heap(link);
+                        self.make_private_heap();
+                        Ok(ra)
+                    }
+                    ReturnAddress::Exit => Ok(ra),
+                    ReturnAddress::Underflow => {
+                        unreachable!("the hybrid model has no underflow handler")
+                    }
+                }
+            }
+        }
+    }
+
+    fn capture(&mut self) -> Continuation<S> {
+        self.metrics.captures += 1;
+        match &self.mode {
+            Mode::Heap(h) => {
+                let ra = h.get(0).as_return_address().expect("frame slot 0 must hold a return address");
+                match ra {
+                    ReturnAddress::Code(ra) => {
+                        let frame = h.link.clone().expect("a code return address implies a caller");
+                        self.metrics.stack_records_allocated += 1;
+                        Continuation::from_repr(Rc::new(HybridKont { frame, ra }))
+                    }
+                    _ => Continuation::exit(),
+                }
+            }
+            Mode::Stack { deep } => {
+                let ra = self.buf[self.fp]
+                    .as_return_address()
+                    .expect("frame base must hold a return address");
+                let ReturnAddress::Code(live_ra) = ra else {
+                    // Live frame at the stack base: the continuation is the
+                    // existing heap chain (or exit) — O(1), no migration.
+                    return Continuation::exit();
+                };
+                if self.fp == 0 {
+                    let frame = deep.clone().expect("stack base with code ra implies a heap chain");
+                    self.metrics.stack_records_allocated += 1;
+                    return Continuation::from_repr(Rc::new(HybridKont { frame, ra: live_ra }));
+                }
+                // Migrate the frames below the live frame into the heap;
+                // they are never copied back.
+                let head = self.migrate_below(live_ra);
+                match &mut self.mode {
+                    Mode::Stack { deep } => *deep = Some(head.clone()),
+                    Mode::Heap(_) => unreachable!(),
+                }
+                self.slide_live_frame(self.cfg.frame_bound());
+                self.metrics.stack_records_allocated += 1;
+                Continuation::from_repr(Rc::new(HybridKont { frame: head, ra: live_ra }))
+            }
+        }
+    }
+
+    fn reinstate(&mut self, k: &Continuation<S>) -> Result<ReturnAddress, StackError> {
+        self.metrics.reinstatements += 1;
+        if k.is_exit() {
+            self.fp = 0;
+            self.buf[0] = S::from_return_address(ReturnAddress::Exit);
+            self.mode = Mode::Stack { deep: None };
+            return Ok(ReturnAddress::Exit);
+        }
+        let kont = k
+            .repr()
+            .as_any()
+            .downcast_ref::<HybridKont<S>>()
+            .ok_or(StackError::ForeignContinuation { strategy: "hybrid" })?;
+        // Execution resumes *in* the heap frame; nothing is copied back to
+        // the *stack*, though a shared frame is cloned within the heap so
+        // the continuation can be re-entered again.
+        self.mode = Mode::Heap(kont.frame.clone());
+        self.make_private_heap();
+        Ok(ReturnAddress::Code(kont.ra))
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn stats(&self) -> StackStats {
+        let (chain_records, chain_slots) = match &self.mode {
+            Mode::Stack { deep: Some(h) } => (h.chain_len(), h.chain_slots()),
+            Mode::Stack { deep: None } => (0, 0),
+            Mode::Heap(h) => match &h.link {
+                Some(l) => (l.chain_len(), l.chain_slots()),
+                None => (0, 0),
+            },
+        };
+        let (used, free) = match &self.mode {
+            Mode::Stack { .. } => (self.fp, self.esp().saturating_sub(self.fp)),
+            Mode::Heap(_) => (0, self.esp()),
+        };
+        StackStats {
+            chain_records,
+            chain_slots,
+            current_used_slots: used,
+            current_free_slots: free,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.fp = 0;
+        self.buf[0] = S::from_return_address(ReturnAddress::Exit);
+        self.mode = Mode::Stack { deep: None };
+    }
+
+    fn backtrace(&self, limit: usize) -> Vec<CodeAddr> {
+        let mut out = Vec::new();
+        let mut heap_part: Option<Rc<HeapFrame<S>>> = None;
+        match &self.mode {
+            Mode::Stack { deep } => {
+                let mut pos = self.fp;
+                while let Some(ReturnAddress::Code(r)) = self.buf[pos].as_return_address() {
+                    out.push(r);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                    if pos == 0 {
+                        heap_part = deep.clone();
+                        break;
+                    }
+                    pos -= self.code.displacement(r);
+                }
+            }
+            Mode::Heap(h) => heap_part = Some(h.clone()),
+        }
+        let mut f = heap_part;
+        while let Some(frame) = f {
+            if out.len() >= limit {
+                break;
+            }
+            match frame.get(0).as_return_address() {
+                Some(ReturnAddress::Code(r)) => out.push(r),
+                _ => break,
+            }
+            f = frame.link.clone();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segstack_core::{sim, TestCode, TestSlot};
+
+    fn setup(stack_slots: usize) -> (Rc<TestCode>, HybridStack<TestSlot>) {
+        let code = Rc::new(TestCode::new());
+        let cfg = Config::builder()
+            .segment_slots(stack_slots)
+            .frame_bound(16)
+            .build()
+            .unwrap();
+        let stack = HybridStack::new(cfg, code.clone() as Rc<dyn FrameSizeTable>);
+        (code, stack)
+    }
+
+    #[test]
+    fn call_return_round_trip_on_stack() {
+        let (code, mut stack) = setup(512);
+        sim::push_frames(&mut stack, &code, 5, 4);
+        assert!(!stack.in_heap());
+        assert_eq!(stack.get(1), TestSlot::Int(4));
+        assert_eq!(sim::unwind_all(&mut stack), 6);
+        assert_eq!(stack.metrics().heap_frames_allocated, 0, "no captures, no heap frames");
+    }
+
+    #[test]
+    fn capture_migrates_frames_once() {
+        let (code, mut stack) = setup(512);
+        sim::push_frames(&mut stack, &code, 10, 4);
+        let k1 = stack.capture();
+        assert_eq!(stack.metrics().heap_frames_allocated, 10, "9 caller frames + initial");
+        assert_eq!(k1.chain_len(), 10, "chain head is the live frame's caller");
+        // A second capture from the same point is O(1): frames are already
+        // in the heap (fp == 0 now).
+        let allocated = stack.metrics().heap_frames_allocated;
+        let k2 = stack.capture();
+        assert_eq!(stack.metrics().heap_frames_allocated, allocated);
+        assert_eq!(k2.retained_slots(), k1.retained_slots());
+    }
+
+    #[test]
+    fn returns_into_heap_frames_work() {
+        let (code, mut stack) = setup(512);
+        let ras = sim::push_frames(&mut stack, &code, 5, 4);
+        let _k = stack.capture();
+        // Unwind through the migrated heap frames.
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ras[4]));
+        assert!(stack.in_heap(), "returned into a migrated frame");
+        assert_eq!(stack.get(1), TestSlot::Int(3));
+        assert_eq!(sim::unwind_all(&mut stack), 5);
+    }
+
+    #[test]
+    fn calls_from_heap_frames_push_on_the_stack() {
+        let (code, mut stack) = setup(512);
+        sim::push_frames(&mut stack, &code, 3, 4);
+        let _k = stack.capture();
+        stack.ret().unwrap(); // now in a heap frame
+        assert!(stack.in_heap());
+        let ra = code.ret_point(4);
+        stack.set(5, TestSlot::Int(99));
+        stack.call(4, ra, 1, true).unwrap();
+        assert!(!stack.in_heap(), "callee frame is on the stack");
+        assert_eq!(stack.get(1), TestSlot::Int(99));
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra));
+        assert!(stack.in_heap(), "returned back into the heap frame");
+    }
+
+    #[test]
+    fn reinstate_never_copies_frames_back() {
+        let (code, mut stack) = setup(512);
+        let ras = sim::push_frames(&mut stack, &code, 10, 4);
+        let k = stack.capture();
+        sim::unwind_all(&mut stack);
+        let copied = stack.metrics().slots_copied;
+        assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Code(ras[9]));
+        // At most the one re-entered frame is cloned (within the heap);
+        // nothing is copied back to the stack.
+        assert!(stack.metrics().slots_copied - copied <= 8, "reinstate cost is one frame, not O(depth)");
+        assert!(stack.in_heap());
+        assert_eq!(sim::unwind_all(&mut stack), 10);
+    }
+
+    #[test]
+    fn single_copy_property_holds_across_repeated_capture() {
+        let (code, mut stack) = setup(512);
+        sim::push_frames(&mut stack, &code, 20, 4);
+        let k1 = stack.capture();
+        let k2 = stack.capture();
+        let k3 = stack.capture();
+        // All three continuations share the same migrated frames: "there is
+        // never more than one copy of a given frame".
+        assert_eq!(stack.metrics().heap_frames_allocated, 20);
+        assert_eq!(k1.retained_slots(), k2.retained_slots());
+        assert_eq!(k2.retained_slots(), k3.retained_slots());
+    }
+
+    #[test]
+    fn overflow_migrates_and_continues() {
+        let (code, mut stack) = setup(128);
+        sim::push_frames(&mut stack, &code, 100, 8);
+        assert!(stack.metrics().overflows > 0);
+        assert!(stack.metrics().heap_frames_allocated > 50);
+        assert_eq!(sim::unwind_all(&mut stack), 101);
+    }
+
+    #[test]
+    fn looper_rule_holds() {
+        let (code, mut stack) = setup(512);
+        let max_chain = sim::looper_workload(&mut stack, &code, 500, 4);
+        assert!(max_chain <= 1, "looper must not grow the chain (got {max_chain})");
+    }
+
+    #[test]
+    fn capture_at_toplevel_is_exit() {
+        let (_code, mut stack) = setup(512);
+        assert!(stack.capture().is_exit());
+    }
+
+    #[test]
+    fn foreign_continuation_is_rejected() {
+        let (code, mut stack) = setup(512);
+        let mut heap = crate::heap::HeapStack::<TestSlot>::new(Config::default());
+        let k = sim::capture_at_depth(&mut heap, &code, 3, 4);
+        assert_eq!(
+            stack.reinstate(&k).unwrap_err(),
+            StackError::ForeignContinuation { strategy: "hybrid" }
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let (code, mut stack) = setup(512);
+        sim::push_frames(&mut stack, &code, 5, 4);
+        let _k = stack.capture();
+        stack.reset();
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+    }
+}

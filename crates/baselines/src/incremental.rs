@@ -1,0 +1,444 @@
+//! The incremental stack/heap model (Clinger, Hartheimer & Ost 1988).
+//!
+//! The fourth strategy in Clinger's taxonomy, sitting between the hybrid
+//! stack/heap model and the paper's segmented stack: frames migrate to the
+//! heap when a continuation is captured (like the hybrid model), but a
+//! return *into* a heap frame copies that one frame back onto the stack and
+//! execution continues there. Returns stay cheap and uniform; the price is
+//! one frame's copy per underflow and the same capture-time migration cost
+//! as the hybrid model. The paper's §6 comparison of duplication bounds
+//! applies to this model directly: at most one copy of one frame is made
+//! per re-entry.
+
+use std::any::Any;
+use std::rc::Rc;
+
+use segstack_core::{
+    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics,
+    ReturnAddress, StackError, StackSlot, StackStats,
+};
+
+use crate::frames::HeapFrame;
+
+/// Continuation representation: the head of the migrated frame list plus
+/// the resume address (shared with any number of captures).
+#[derive(Debug)]
+struct IncKont<S: StackSlot> {
+    frame: Rc<HeapFrame<S>>,
+    ra: CodeAddr,
+}
+
+impl<S: StackSlot> KontRepr<S> for IncKont<S> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn retained_slots(&self) -> usize {
+        self.frame.chain_slots()
+    }
+
+    fn chain_len(&self) -> usize {
+        self.frame.chain_len()
+    }
+
+    fn strategy(&self) -> &'static str {
+        "incremental"
+    }
+}
+
+/// Control-stack strategy with migrate-on-capture and copy-one-frame-back
+/// on underflow (Clinger et al.'s "incremental stack/heap").
+///
+/// `cfg.segment_slots()` is the stack size.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_baselines::IncrementalStack;
+/// use segstack_core::{Config, ControlStack, TestCode, TestSlot, sim};
+/// use std::rc::Rc;
+///
+/// let code = Rc::new(TestCode::new());
+/// let cfg = Config::builder().segment_slots(512).frame_bound(16).build()?;
+/// let mut stack = IncrementalStack::<TestSlot>::new(cfg, code.clone());
+/// sim::push_frames(&mut stack, &code, 10, 4);
+/// let k = stack.capture();                 // migrates frames to the heap
+/// stack.ret()?;                            // copies one frame back
+/// assert!(stack.metrics().slots_copied > 0);
+/// let _ = k;
+/// # Ok::<(), segstack_core::StackError>(())
+/// ```
+pub struct IncrementalStack<S: StackSlot> {
+    code: Rc<dyn FrameSizeTable>,
+    cfg: Config,
+    buf: Vec<S>,
+    fp: usize,
+    /// Heap chain beneath the stack's bottom frame.
+    deep: Option<Rc<HeapFrame<S>>>,
+    metrics: Metrics,
+}
+
+impl<S: StackSlot> std::fmt::Debug for IncrementalStack<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalStack")
+            .field("fp", &self.fp)
+            .field("stack", &self.buf.len())
+            .field("deep", &self.deep.is_some())
+            .finish()
+    }
+}
+
+impl<S: StackSlot> IncrementalStack<S> {
+    /// Creates an incremental stack/heap strategy with a stack buffer of
+    /// `cfg.segment_slots()` slots.
+    pub fn new(cfg: Config, code: Rc<dyn FrameSizeTable>) -> Self {
+        let mut buf: Vec<S> = std::iter::repeat_with(S::empty).take(cfg.segment_slots()).collect();
+        buf[0] = S::from_return_address(ReturnAddress::Exit);
+        IncrementalStack { code, cfg, buf, fp: 0, deep: None, metrics: Metrics::new() }
+    }
+
+    fn esp(&self) -> usize {
+        self.buf.len() - self.cfg.esp_reserve()
+    }
+
+    /// Migrates every stack frame below `fp` into the heap chain; `live_ra`
+    /// is `buf[fp]`. Returns the new chain head.
+    fn migrate_below(&mut self, live_ra: CodeAddr) -> Rc<HeapFrame<S>> {
+        let mut extents = Vec::new();
+        let mut top = self.fp;
+        let mut ra = live_ra;
+        loop {
+            let d = self.code.displacement(ra);
+            let b = top - d;
+            extents.push((b, top));
+            if b == 0 {
+                break;
+            }
+            ra = self.buf[b]
+                .as_return_address()
+                .expect("frame base must hold a return address")
+                .code()
+                .expect("frames above the stack base hold code return addresses");
+            top = b;
+        }
+        let mut parent = self.deep.take();
+        for &(b, t) in extents.iter().rev() {
+            let slots = self.buf[b..t].to_vec();
+            self.metrics.heap_frames_allocated += 1;
+            self.metrics.heap_slots_allocated += (t - b) as u64;
+            self.metrics.slots_copied += (t - b) as u64;
+            parent = Some(HeapFrame::new(parent, slots));
+        }
+        parent.expect("at least the base frame migrated")
+    }
+
+    /// Copies heap frame `h` onto the stack base and makes it current: the
+    /// defining "incremental" move. The heap original stays frozen for any
+    /// continuations that share it.
+    fn install_at_base(&mut self, h: &Rc<HeapFrame<S>>) {
+        let slots = h.slots.borrow();
+        debug_assert!(slots.len() <= self.esp() + self.cfg.esp_reserve());
+        for (i, s) in slots.iter().enumerate() {
+            self.buf[i] = s.clone();
+        }
+        self.metrics.slots_copied += slots.len() as u64;
+        self.metrics.underflows += 1;
+        self.fp = 0;
+        self.deep = h.link.clone();
+    }
+}
+
+impl<S: StackSlot> ControlStack<S> for IncrementalStack<S> {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn get(&self, i: usize) -> S {
+        self.buf[self.fp + i].clone()
+    }
+
+    fn set(&mut self, i: usize, v: S) {
+        self.buf[self.fp + i] = v;
+    }
+
+    fn call(&mut self, d: usize, ra: CodeAddr, nargs: usize, check: bool)
+        -> Result<(), StackError>
+    {
+        debug_assert!(d >= 1);
+        self.metrics.calls += 1;
+        let bound = self.cfg.frame_bound();
+        if d > bound || 1 + nargs > bound {
+            return Err(StackError::FrameTooLarge { requested: d.max(1 + nargs), bound });
+        }
+        let new_fp = self.fp + d;
+        if check {
+            self.metrics.checks_executed += 1;
+            if new_fp > self.esp() {
+                // Stack overflow: migrate everything below the live frame,
+                // slide the live frame (plus staged partial frame) down.
+                self.metrics.overflows += 1;
+                if self.fp > 0 {
+                    let live_ra = self.buf[self.fp]
+                        .as_return_address()
+                        .expect("frame base must hold a return address")
+                        .code()
+                        .expect("a frame above the stack base has a code return address");
+                    let head = self.migrate_below(live_ra);
+                    self.deep = Some(head);
+                    let width = (d + 1 + nargs).min(self.buf.len() - self.fp);
+                    for i in 0..width {
+                        self.buf[i] = self.buf[self.fp + i].clone();
+                    }
+                    self.metrics.slots_copied += width as u64;
+                    self.fp = 0;
+                }
+                let new_fp = self.fp + d;
+                self.buf[new_fp] = S::from_return_address(ReturnAddress::Code(ra));
+                self.fp = new_fp;
+                return Ok(());
+            }
+        } else {
+            self.metrics.checks_elided += 1;
+        }
+        self.buf[new_fp] = S::from_return_address(ReturnAddress::Code(ra));
+        self.fp = new_fp;
+        Ok(())
+    }
+
+    fn tail_call(&mut self, src: usize, nargs: usize) {
+        debug_assert!(src >= 1);
+        self.metrics.tail_calls += 1;
+        // Stack frames are private: reuse in place.
+        for j in 0..nargs {
+            self.buf[self.fp + 1 + j] = self.buf[self.fp + src + j].clone();
+        }
+    }
+
+    fn ret(&mut self) -> Result<ReturnAddress, StackError> {
+        self.metrics.returns += 1;
+        let ra = self.buf[self.fp]
+            .as_return_address()
+            .expect("frame base must hold a return address");
+        match ra {
+            ReturnAddress::Code(r) => {
+                if self.fp == 0 {
+                    // Returning off the stack base: copy the next heap
+                    // frame back onto the stack — the incremental step.
+                    let h = self
+                        .deep
+                        .clone()
+                        .expect("stack base with a code return address implies a heap chain");
+                    self.install_at_base(&h);
+                } else {
+                    self.fp -= self.code.displacement(r);
+                }
+                Ok(ra)
+            }
+            ReturnAddress::Exit => Ok(ra),
+            ReturnAddress::Underflow => {
+                unreachable!("the incremental model stores real return addresses at the base")
+            }
+        }
+    }
+
+    fn capture(&mut self) -> Continuation<S> {
+        self.metrics.captures += 1;
+        let ra = self.buf[self.fp]
+            .as_return_address()
+            .expect("frame base must hold a return address");
+        let ReturnAddress::Code(live_ra) = ra else {
+            return Continuation::exit();
+        };
+        if self.fp == 0 {
+            // The caller chain is already fully in the heap: O(1) capture.
+            let frame = self.deep.clone().expect("code ra at base implies a chain");
+            self.metrics.stack_records_allocated += 1;
+            return Continuation::from_repr(Rc::new(IncKont { frame, ra: live_ra }));
+        }
+        let head = self.migrate_below(live_ra);
+        self.deep = Some(head.clone());
+        // Slide the live frame to the base (its extent is unknown without a
+        // stack pointer; one frame bound always covers it).
+        let width = self.cfg.frame_bound().min(self.buf.len() - self.fp);
+        for i in 0..width {
+            self.buf[i] = self.buf[self.fp + i].clone();
+        }
+        self.metrics.slots_copied += width as u64;
+        self.fp = 0;
+        self.metrics.stack_records_allocated += 1;
+        Continuation::from_repr(Rc::new(IncKont { frame: head, ra: live_ra }))
+    }
+
+    fn reinstate(&mut self, k: &Continuation<S>) -> Result<ReturnAddress, StackError> {
+        self.metrics.reinstatements += 1;
+        if k.is_exit() {
+            self.fp = 0;
+            self.buf[0] = S::from_return_address(ReturnAddress::Exit);
+            self.deep = None;
+            return Ok(ReturnAddress::Exit);
+        }
+        let kont = k
+            .repr()
+            .as_any()
+            .downcast_ref::<IncKont<S>>()
+            .ok_or(StackError::ForeignContinuation { strategy: "incremental" })?;
+        // Copy the topmost saved frame onto the stack; the rest arrives
+        // incrementally as returns pull frames back.
+        self.install_at_base(&kont.frame);
+        self.metrics.underflows -= 1; // install counted one; reinstate is explicit
+        Ok(ReturnAddress::Code(kont.ra))
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn stats(&self) -> StackStats {
+        let (chain_records, chain_slots) = match &self.deep {
+            Some(h) => (h.chain_len(), h.chain_slots()),
+            None => (0, 0),
+        };
+        StackStats {
+            chain_records,
+            chain_slots,
+            current_used_slots: self.fp,
+            current_free_slots: self.esp().saturating_sub(self.fp),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.fp = 0;
+        self.buf[0] = S::from_return_address(ReturnAddress::Exit);
+        self.deep = None;
+    }
+
+    fn backtrace(&self, limit: usize) -> Vec<CodeAddr> {
+        let mut out = Vec::new();
+        let mut pos = self.fp;
+        loop {
+            match self.buf[pos].as_return_address() {
+                Some(ReturnAddress::Code(r)) => {
+                    out.push(r);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                    if pos == 0 {
+                        break;
+                    }
+                    pos -= self.code.displacement(r);
+                }
+                _ => return out,
+            }
+        }
+        let mut f = self.deep.clone();
+        while let Some(frame) = f {
+            if out.len() >= limit {
+                break;
+            }
+            match frame.get(0).as_return_address() {
+                Some(ReturnAddress::Code(r)) => out.push(r),
+                _ => break,
+            }
+            f = frame.link.clone();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segstack_core::{sim, TestCode, TestSlot};
+
+    fn setup(stack_slots: usize) -> (Rc<TestCode>, IncrementalStack<TestSlot>) {
+        let code = Rc::new(TestCode::new());
+        let cfg = Config::builder()
+            .segment_slots(stack_slots)
+            .frame_bound(16)
+            .build()
+            .unwrap();
+        let stack = IncrementalStack::new(cfg, code.clone() as Rc<dyn FrameSizeTable>);
+        (code, stack)
+    }
+
+    #[test]
+    fn plain_calls_never_touch_the_heap() {
+        let (code, mut stack) = setup(512);
+        sim::push_frames(&mut stack, &code, 5, 4);
+        assert_eq!(sim::unwind_all(&mut stack), 6);
+        assert_eq!(stack.metrics().heap_frames_allocated, 0);
+    }
+
+    #[test]
+    fn returns_after_capture_copy_one_frame_each() {
+        let (code, mut stack) = setup(512);
+        let ras = sim::push_frames(&mut stack, &code, 10, 4);
+        let _k = stack.capture();
+        let copied_after_capture = stack.metrics().slots_copied;
+        // Each of the next returns pulls exactly one 4-slot frame back.
+        for i in (0..10).rev() {
+            assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ras[i]));
+        }
+        let per_frame = stack.metrics().slots_copied - copied_after_capture;
+        assert_eq!(per_frame, 40, "ten frames of four slots, one at a time");
+        assert_eq!(stack.metrics().underflows, 10);
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+    }
+
+    #[test]
+    fn reinstate_costs_one_frame_and_resumes() {
+        let (code, mut stack) = setup(512);
+        let ras = sim::push_frames(&mut stack, &code, 10, 4);
+        let k = stack.capture();
+        sim::unwind_all(&mut stack);
+        let before = stack.metrics().slots_copied;
+        assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Code(ras[9]));
+        assert_eq!(stack.metrics().slots_copied - before, 4, "one frame copied back");
+        assert_eq!(stack.get(1), TestSlot::Int(8));
+        assert_eq!(sim::unwind_all(&mut stack), 10);
+        // Multi-shot.
+        assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Code(ras[9]));
+        assert_eq!(sim::unwind_all(&mut stack), 10);
+    }
+
+    #[test]
+    fn overflow_migrates_and_continues() {
+        let (code, mut stack) = setup(128);
+        sim::push_frames(&mut stack, &code, 100, 8);
+        assert!(stack.metrics().overflows > 0);
+        assert_eq!(sim::unwind_all(&mut stack), 101);
+    }
+
+    #[test]
+    fn looper_rule_holds() {
+        let (code, mut stack) = setup(512);
+        let max_chain = sim::looper_workload(&mut stack, &code, 500, 4);
+        assert!(max_chain <= 1, "chain grew to {max_chain}");
+    }
+
+    #[test]
+    fn capture_at_base_is_o1() {
+        let (code, mut stack) = setup(512);
+        sim::push_frames(&mut stack, &code, 5, 4);
+        let k1 = stack.capture(); // migrates; fp now 0
+        let copied = stack.metrics().slots_copied;
+        let k2 = stack.capture(); // chain already in heap
+        assert_eq!(stack.metrics().slots_copied, copied, "second capture copies nothing");
+        assert_eq!(k1.retained_slots(), k2.retained_slots());
+    }
+
+    #[test]
+    fn foreign_continuation_is_rejected() {
+        let (code, mut stack) = setup(512);
+        let mut heap = crate::heap::HeapStack::<TestSlot>::new(Config::default());
+        let k = sim::capture_at_depth(&mut heap, &code, 3, 4);
+        assert_eq!(
+            stack.reinstate(&k).unwrap_err(),
+            StackError::ForeignContinuation { strategy: "incremental" }
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! # segstack-baselines
+//!
+//! The baseline control-stack strategies that *Representing Control in the
+//! Presence of First-Class Continuations* (Hieb, Dybvig & Bruggeman, PLDI
+//! 1990) compares its segmented stack against:
+//!
+//! | Strategy | Paper source | Character |
+//! |---|---|---|
+//! | [`HeapStack`] | Figure 1, §2 | every frame heap-allocated and linked; O(1) capture/reinstate; every call (even tail calls) allocates |
+//! | [`CopyStack`] | Figure 2, §2 (McDermott 1980) | one contiguous stack; capture/reinstate copy the whole stack image |
+//! | [`CacheStack`] | §2 (Bartley & Jensen 1986) | bounded stack cache; flush/refill on overflow/underflow — exhibits "bouncing" |
+//! | [`HybridStack`] | §6 (Clinger, Hartheimer & Ost 1988) | frames migrate to the heap on capture and are never copied back; returns check stack-vs-heap |
+//! | [`IncrementalStack`] | Clinger et al.'s fourth strategy | frames migrate to the heap on capture; returns copy one frame back at a time |
+//!
+//! All implement [`segstack_core::ControlStack`], so they are drop-in
+//! replacements for [`segstack_core::SegmentedStack`] under the same VM —
+//! which is how every experiment in this workspace compares them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod copy;
+mod frames;
+mod heap;
+mod hybrid;
+mod incremental;
+
+use std::rc::Rc;
+
+pub use cache::CacheStack;
+pub use copy::CopyStack;
+pub use heap::HeapStack;
+pub use hybrid::HybridStack;
+pub use incremental::IncrementalStack;
+
+use segstack_core::{
+    Config, ControlStack, FrameSizeTable, SegmentedStack, StackError, StackSlot,
+};
+
+/// Identifies one of the six control-stack strategies.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_baselines::Strategy;
+/// let s: Strategy = "segmented".parse()?;
+/// assert_eq!(s, Strategy::Segmented);
+/// assert_eq!(s.to_string(), "segmented");
+/// # Ok::<(), segstack_baselines::ParseStrategyError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// The paper's segmented stack ([`SegmentedStack`]).
+    Segmented,
+    /// The heap model ([`HeapStack`]).
+    Heap,
+    /// The naive stack-copy model ([`CopyStack`]).
+    Copy,
+    /// The bounded stack-cache model ([`CacheStack`]).
+    Cache,
+    /// The hybrid stack/heap model ([`HybridStack`]).
+    Hybrid,
+    /// The incremental stack/heap model ([`IncrementalStack`]).
+    Incremental,
+}
+
+impl Strategy {
+    /// All strategies, in the order the experiments report them.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::Segmented,
+        Strategy::Heap,
+        Strategy::Copy,
+        Strategy::Cache,
+        Strategy::Hybrid,
+        Strategy::Incremental,
+    ];
+
+    /// The strategy's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Segmented => "segmented",
+            Strategy::Heap => "heap",
+            Strategy::Copy => "copy",
+            Strategy::Cache => "cache",
+            Strategy::Hybrid => "hybrid",
+            Strategy::Incremental => "incremental",
+        }
+    }
+
+    /// Builds a boxed control stack of this strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackError::OutOfStackMemory`] if the segmented strategy
+    /// cannot allocate its initial segment under a configured budget.
+    pub fn build<S: StackSlot>(
+        self,
+        cfg: Config,
+        code: Rc<dyn FrameSizeTable>,
+    ) -> Result<Box<dyn ControlStack<S>>, StackError> {
+        Ok(match self {
+            Strategy::Segmented => Box::new(SegmentedStack::new(cfg, code)?),
+            Strategy::Heap => Box::new(HeapStack::new(cfg)),
+            Strategy::Copy => Box::new(CopyStack::new(cfg, code)),
+            Strategy::Cache => Box::new(CacheStack::new(cfg, code)),
+            Strategy::Hybrid => Box::new(HybridStack::new(cfg, code)),
+            Strategy::Incremental => Box::new(IncrementalStack::new(cfg, code)),
+        })
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`Strategy`] from a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseStrategyError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown strategy {:?}; expected one of segmented, heap, copy, cache, hybrid, incremental",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl std::str::FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "segmented" => Ok(Strategy::Segmented),
+            "heap" => Ok(Strategy::Heap),
+            "copy" => Ok(Strategy::Copy),
+            "cache" => Ok(Strategy::Cache),
+            "hybrid" => Ok(Strategy::Hybrid),
+            "incremental" => Ok(Strategy::Incremental),
+            _ => Err(ParseStrategyError { input: s.to_owned() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segstack_core::{sim, ReturnAddress, TestCode, TestSlot};
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in Strategy::ALL {
+            assert_eq!(s.name().parse::<Strategy>().unwrap(), s);
+            assert_eq!(s.to_string(), s.name());
+        }
+        assert!("bogus".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn factory_builds_working_stacks() {
+        for s in Strategy::ALL {
+            let code = Rc::new(TestCode::new());
+            let cfg = Config::builder()
+                .segment_slots(512)
+                .frame_bound(16)
+                .build()
+                .unwrap();
+            let mut stack: Box<dyn ControlStack<TestSlot>> =
+                s.build(cfg, code.clone()).unwrap();
+            assert_eq!(stack.name(), s.name());
+            sim::push_frames(&mut *stack, &code, 10, 4);
+            assert_eq!(sim::unwind_all(&mut *stack), 11, "{s}");
+        }
+    }
+
+    /// The cross-strategy behavioral contract: identical call/return/
+    /// capture/reinstate observable behavior on the same synthetic program.
+    #[test]
+    fn strategies_agree_on_capture_reinstate_observables() {
+        for s in Strategy::ALL {
+            let code = Rc::new(TestCode::new());
+            let cfg = Config::builder()
+                .segment_slots(512)
+                .frame_bound(16)
+                .copy_bound(32)
+                .build()
+                .unwrap();
+            let mut stack: Box<dyn ControlStack<TestSlot>> =
+                s.build(cfg, code.clone()).unwrap();
+            let ras = sim::push_frames(&mut *stack, &code, 8, 4);
+            let k = stack.capture();
+            // Unwind to the top, reinstate, observe identical resumption.
+            assert_eq!(sim::unwind_all(&mut *stack), 9, "{s}");
+            assert_eq!(
+                stack.reinstate(&k).unwrap(),
+                ReturnAddress::Code(ras[7]),
+                "{s}: resumption address"
+            );
+            assert_eq!(stack.get(1), TestSlot::Int(6), "{s}: caller frame argument");
+            assert_eq!(sim::unwind_all(&mut *stack), 8, "{s}: remaining unwind");
+        }
+    }
+
+    #[test]
+    fn looper_is_constant_space_on_all_strategies() {
+        for s in Strategy::ALL {
+            let code = Rc::new(TestCode::new());
+            let cfg = Config::builder()
+                .segment_slots(512)
+                .frame_bound(16)
+                .build()
+                .unwrap();
+            let mut stack: Box<dyn ControlStack<TestSlot>> =
+                s.build(cfg, code.clone()).unwrap();
+            let max_chain = sim::looper_workload(&mut *stack, &code, 300, 4);
+            assert!(max_chain <= 1, "{s}: looper grew the chain to {max_chain}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Model-based property testing of every control-stack strategy.
+//!
+//! A trivially correct reference model (a vector of frames plus snapshot
+//! continuations) is driven through random call / return / capture /
+//! reinstate sequences in lockstep with each real strategy. Every
+//! observable — resumption addresses, argument slots, exit timing — must
+//! match. This is the deepest correctness net for the capture/reinstate
+//! machinery: it explores interleavings no hand-written test reaches.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use segstack_baselines::Strategy;
+use segstack_core::{
+    CodeAddr, Config, Continuation, ControlStack, ReturnAddress, TestCode, TestSlot,
+};
+
+/// One scripted operation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Push a frame carrying this argument.
+    Call(i64),
+    /// Pop a frame (skipped when only the initial frame remains).
+    Ret,
+    /// Capture the current continuation and remember it.
+    Capture,
+    /// Reinstate a previously captured continuation (index modulo count).
+    Reinstate(usize),
+    /// Replace the live frame's argument via a proper tail call.
+    TailCall(i64),
+}
+
+/// The reference model: frames are `(return-address, argument)` pairs; a
+/// continuation is a snapshot of the frames *below* the live frame plus
+/// the live frame's return address.
+#[derive(Clone, Debug, Default)]
+struct Model {
+    /// Frames below the live frame (the live frame is tracked separately).
+    below: Vec<(CodeAddr, i64)>,
+    /// The live frame: `None` means we sit on the initial frame.
+    live: Option<(CodeAddr, i64)>,
+    konts: Vec<(Vec<(CodeAddr, i64)>, CodeAddr)>,
+}
+
+impl Model {
+    fn call(&mut self, ra: CodeAddr, arg: i64) {
+        if let Some(prev) = self.live.take() {
+            self.below.push(prev);
+        }
+        self.live = Some((ra, arg));
+    }
+
+    /// Returns what `ret` should yield, and pops.
+    fn ret(&mut self) -> Option<CodeAddr> {
+        let (ra, _) = self.live.take()?;
+        self.live = self.below.pop();
+        Some(ra)
+    }
+
+    fn capture(&mut self) {
+        if let Some((ra, _)) = self.live {
+            self.konts.push((self.below.clone(), ra));
+        }
+        // Capturing on the initial frame yields the exit continuation; the
+        // driver models that case separately.
+    }
+
+    /// Reinstating kont `i`: afterwards the live frame is the snapshot's
+    /// top frame and execution resumes at the snapshot's return address.
+    fn reinstate(&mut self, i: usize) -> CodeAddr {
+        let (below, ra) = self.konts[i].clone();
+        let mut below = below;
+        self.live = below.pop();
+        self.below = below;
+        ra
+    }
+
+    fn top_arg(&self) -> Option<i64> {
+        self.live.map(|(_, a)| a)
+    }
+
+    /// A tail call reuses the live frame: same return address, new arg.
+    fn tail_call(&mut self, arg: i64) -> bool {
+        match self.live {
+            Some((ra, _)) => {
+                self.live = Some((ra, arg));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+const D: usize = 6;
+
+fn run_script(strategy: Strategy, cfg: &Config, ops: &[Op]) {
+    let code = Rc::new(TestCode::new());
+    let mut stack: Box<dyn ControlStack<TestSlot>> =
+        strategy.build(cfg.clone(), code.clone()).unwrap();
+    let mut model = Model::default();
+    let mut konts: Vec<Continuation<TestSlot>> = Vec::new();
+
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Call(arg) => {
+                let ra = code.ret_point(D);
+                stack.set(D + 1, TestSlot::Int(arg));
+                stack.call(D, ra, 1, true).unwrap();
+                model.call(ra, arg);
+            }
+            Op::Ret => {
+                let Some(expected) = model.ret() else { continue };
+                let got = stack.ret().unwrap();
+                assert_eq!(
+                    got,
+                    ReturnAddress::Code(expected),
+                    "{strategy} step {step}: wrong resumption address"
+                );
+            }
+            Op::Capture => {
+                let k = stack.capture();
+                if model.live.is_some() {
+                    model.capture();
+                    konts.push(k);
+                }
+            }
+            Op::TailCall(arg) => {
+                // Only meaningful with a live frame (the initial frame has
+                // no argument slot convention in the model).
+                if !model.tail_call(arg) {
+                    continue;
+                }
+                stack.set(D + 1, TestSlot::Int(arg));
+                stack.tail_call(D + 1, 1);
+            }
+            Op::Reinstate(i) => {
+                if konts.is_empty() {
+                    continue;
+                }
+                let i = i % konts.len();
+                let got = stack.reinstate(&konts[i]).unwrap();
+                let expected = model.reinstate(i);
+                assert_eq!(
+                    got,
+                    ReturnAddress::Code(expected),
+                    "{strategy} step {step}: wrong reinstate address"
+                );
+            }
+        }
+        // The live frame's argument slot must always agree.
+        if let Some(arg) = model.top_arg() {
+            assert_eq!(
+                stack.get(1),
+                TestSlot::Int(arg),
+                "{strategy} step {step}: wrong argument in the live frame"
+            );
+        }
+    }
+
+    // Drain to the exit and verify the full unwind order.
+    loop {
+        match model.ret() {
+            Some(expected) => {
+                assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(expected), "{strategy} drain");
+                if let Some(arg) = model.top_arg() {
+                    assert_eq!(stack.get(1), TestSlot::Int(arg), "{strategy} drain arg");
+                }
+            }
+            None => {
+                assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit, "{strategy} exit");
+                break;
+            }
+        }
+    }
+}
+
+fn arb_ops(len: usize) -> impl proptest::strategy::Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0i64..1000).prop_map(Op::Call),
+            3 => Just(Op::Ret),
+            1 => Just(Op::Capture),
+            1 => (0usize..8).prop_map(Op::Reinstate),
+            2 => (1000i64..2000).prop_map(Op::TailCall),
+        ],
+        0..len,
+    )
+}
+
+fn small_cfg() -> Config {
+    // Small segments + tiny copy bound: every path (overflow, underflow,
+    // splitting) is exercised constantly.
+    Config::builder()
+        .segment_slots(128)
+        .frame_bound(16)
+        .copy_bound(8)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_strategies_match_the_model(ops in arb_ops(120)) {
+        for s in Strategy::ALL {
+            run_script(s, &Config::default(), &ops);
+        }
+    }
+
+    #[test]
+    fn all_strategies_match_the_model_under_stress(ops in arb_ops(120)) {
+        for s in Strategy::ALL {
+            run_script(s, &small_cfg(), &ops);
+        }
+    }
+}
+
+/// A long deterministic soak: heavily interleaved captures and reinstates
+/// at depth, across segment boundaries.
+#[test]
+fn deterministic_soak() {
+    let mut ops = Vec::new();
+    for i in 0..40 {
+        for j in 0..25 {
+            ops.push(Op::Call(i * 100 + j));
+        }
+        ops.push(Op::Capture);
+        for _ in 0..10 {
+            ops.push(Op::Ret);
+        }
+        ops.push(Op::Reinstate(i as usize / 2));
+        ops.push(Op::Ret);
+    }
+    for s in Strategy::ALL {
+        run_script(s, &small_cfg(), &ops);
+    }
+}

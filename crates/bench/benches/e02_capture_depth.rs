@@ -1,0 +1,50 @@
+//! E2 (Fig 2 vs Fig 5, §2): capture cost as a function of stack depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segstack_baselines::Strategy;
+use segstack_bench::workloads as w;
+use segstack_core::Config;
+use segstack_scheme::{CheckPolicy, Engine};
+use std::time::Duration;
+
+fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
+    Engine::builder()
+        .strategy(s)
+        .config(cfg.clone())
+        .check_policy(policy)
+        .build()
+        .expect("engine")
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e02_capture_depth");
+    for depth in [10u32, 100, 1000] {
+        for s in [Strategy::Segmented, Strategy::Heap, Strategy::Copy] {
+            let src = w::capture_at_depth(depth, 200);
+            g.bench_with_input(
+                BenchmarkId::new(format!("d{depth}"), s),
+                &src,
+                |b, src| {
+                    let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
+                    b.iter(|| e.eval(src).unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E3 (Fig 6-7, §4): reinstatement cost vs. continuation size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segstack_baselines::Strategy;
+
+use segstack_core::Config;
+use segstack_scheme::{CheckPolicy, Engine};
+use std::time::Duration;
+
+fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
+    Engine::builder()
+        .strategy(s)
+        .config(cfg.clone())
+        .check_policy(policy)
+        .build()
+        .expect("engine")
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+
+fn reinstate_latency(depth: u32, rounds: u32) -> String {
+    format!(
+        "(define k-deep #f)
+         (define k-top #f)
+         (define count 0)
+         (define (deep n)
+           (if (= n 0)
+               (begin (call/cc (lambda (c) (set! k-deep c))) (k-top 0))
+               (+ 1 (deep (- n 1)))))
+         (call/cc (lambda (c) (set! k-top c) (deep {depth})))
+         (set! count (+ count 1))
+         (if (< count {rounds}) (k-deep 0) count)"
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e03_reinstate_size");
+    for depth in [50u32, 500, 2000] {
+        for s in [Strategy::Segmented, Strategy::Copy, Strategy::Heap] {
+            let src = reinstate_latency(depth, 200);
+            g.bench_with_input(
+                BenchmarkId::new(format!("d{depth}"), s),
+                &src,
+                |b, src| {
+                    let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
+                    b.iter(|| e.eval(src).unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

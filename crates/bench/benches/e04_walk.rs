@@ -1,0 +1,44 @@
+//! E4 (Fig 4, §3): stack walking via code-stream frame-size words.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+
+use segstack_core::{walker, ReturnAddress, TestCode, TestSlot};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e04_walk");
+    for frames in [16usize, 256, 4096] {
+        let code = TestCode::new();
+        let mut buf = vec![TestSlot::Empty; frames * 8 + 8];
+        buf[0] = TestSlot::Ra(ReturnAddress::Exit);
+        let mut fbase = 0usize;
+        let mut prev = None;
+        for _ in 0..frames {
+            if let Some(ra) = prev {
+                buf[fbase] = TestSlot::Ra(ReturnAddress::Code(ra));
+            }
+            prev = Some(code.ret_point(8));
+            fbase += 8;
+        }
+        let top_ra = prev.unwrap();
+        g.bench_function(BenchmarkId::from_parameter(frames), |b| {
+            b.iter(|| walker::frames(&buf, 0, fbase, top_ra, &code).len());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

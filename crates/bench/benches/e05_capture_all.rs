@@ -1,0 +1,44 @@
+//! E5 (Fig 5, §2): capture at fixed depth, all strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segstack_baselines::Strategy;
+use segstack_bench::workloads as w;
+use segstack_core::Config;
+use segstack_scheme::{CheckPolicy, Engine};
+use std::time::Duration;
+
+fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
+    Engine::builder()
+        .strategy(s)
+        .config(cfg.clone())
+        .check_policy(policy)
+        .build()
+        .expect("engine")
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05_capture_all");
+    let src = w::capture_at_depth(1000, 200);
+    for s in Strategy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(s), &src, |b, src| {
+            let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
+            b.iter(|| e.eval(src).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E6 (Fig 6, §6): reinstate a deep continuation, all strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segstack_baselines::Strategy;
+
+use segstack_core::Config;
+use segstack_scheme::{CheckPolicy, Engine};
+use std::time::Duration;
+
+fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
+    Engine::builder()
+        .strategy(s)
+        .config(cfg.clone())
+        .check_policy(policy)
+        .build()
+        .expect("engine")
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+
+fn reinstate_latency(depth: u32, rounds: u32) -> String {
+    format!(
+        "(define k-deep #f)
+         (define k-top #f)
+         (define count 0)
+         (define (deep n)
+           (if (= n 0)
+               (begin (call/cc (lambda (c) (set! k-deep c))) (k-top 0))
+               (+ 1 (deep (- n 1)))))
+         (call/cc (lambda (c) (set! k-top c) (deep {depth})))
+         (set! count (+ count 1))
+         (if (< count {rounds}) (k-deep 0) count)"
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e06_reinstate_all");
+    let src = reinstate_latency(1000, 200);
+    for s in Strategy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(s), &src, |b, src| {
+            let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
+            b.iter(|| e.eval(src).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

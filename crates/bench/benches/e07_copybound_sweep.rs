@@ -1,0 +1,50 @@
+//! E7 (§4): the copy-bound sweep — "determined only by experimentation".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segstack_baselines::Strategy;
+use segstack_bench::workloads as w;
+use segstack_core::Config;
+use segstack_scheme::{CheckPolicy, Engine};
+use std::time::Duration;
+
+fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
+    Engine::builder()
+        .strategy(s)
+        .config(cfg.clone())
+        .check_policy(policy)
+        .build()
+        .expect("engine")
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07_copybound_sweep");
+    let src = w::ctak(12, 8, 4);
+    for bound in [4usize, 32, 128, 1024] {
+        let cfg = Config::builder()
+            .segment_slots(16 * 1024)
+            .frame_bound(64)
+            .copy_bound(bound)
+            .build()
+            .unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(bound), &src, |b, src| {
+            let mut e = engine(Strategy::Segmented, &cfg, CheckPolicy::Elide);
+            b.iter(|| e.eval(src).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

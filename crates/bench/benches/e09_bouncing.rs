@@ -1,0 +1,56 @@
+//! E9 (§2): overflow/underflow bouncing at a segment boundary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segstack_baselines::Strategy;
+use segstack_bench::workloads as w;
+use segstack_core::Config;
+use segstack_scheme::{CheckPolicy, Engine};
+use std::time::Duration;
+
+fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
+    Engine::builder()
+        .strategy(s)
+        .config(cfg.clone())
+        .check_policy(policy)
+        .build()
+        .expect("engine")
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e09_bouncing");
+    let cfg = Config::builder()
+        .segment_slots(512)
+        .frame_bound(48)
+        .copy_bound(32)
+        .build()
+        .unwrap();
+    for depth in [40u32, 45] {
+        for s in [Strategy::Cache, Strategy::Segmented] {
+            let src = w::boundary_loop(depth, 2_000);
+            g.bench_with_input(
+                BenchmarkId::new(format!("park{depth}"), s),
+                &src,
+                |b, src| {
+                    let mut e = engine(s, &cfg, CheckPolicy::Elide);
+                    b.iter(|| e.eval(src).unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E11 (§6, Danvy): repeated capture of the same deep stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segstack_baselines::Strategy;
+
+use segstack_core::Config;
+use segstack_scheme::{CheckPolicy, Engine};
+use std::time::Duration;
+
+fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
+    Engine::builder()
+        .strategy(s)
+        .config(cfg.clone())
+        .check_policy(policy)
+        .build()
+        .expect("engine")
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_repeated_capture");
+    // 25 captures of a depth-800 stack per iteration.
+    let src = "(define ks '())
+               (define (grab i)
+                 (if (= i 0) (length ks)
+                     (begin (call/cc (lambda (k) (set! ks (cons k ks)))) (grab (- i 1)))))
+               (define (deep n thunk) (if (= n 0) (thunk) (+ 1 (deep (- n 1) thunk))))
+               (set! ks '())
+               (deep 800 (lambda () (grab 25)))";
+    for s in Strategy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(s), &src, |b, src| {
+            let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
+            b.iter(|| e.eval(src).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E14 (§6): static frame-size analysis (compile-time cost of the analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segstack_bench::workloads as w;
+use segstack_scheme::Engine;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_frame_sizes");
+    // Measures compilation + analysis of the full corpus.
+    g.bench_function("compile_and_analyze", |b| {
+        b.iter(|| {
+            let mut e = Engine::new().unwrap();
+            e.eval(&w::fib(1)).unwrap();
+            e.eval(&w::sort(1)).unwrap();
+            e.eval(&w::ctak(1, 1, 1)).unwrap();
+            let sizes = e.frame_sizes();
+            sizes.iter().filter(|&&s| s < 30).count()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Runs a Scheme program on every control-stack strategy and prints a
+//! comparison table: the experiment harness, pointed at *your* workload.
+//!
+//! ```sh
+//! cargo run -p segstack-bench --release --bin compare -- path/to/prog.scm
+//! cargo run -p segstack-bench --release --bin compare -- -e '(+ 1 2)'
+//! ```
+//!
+//! Options:
+//!
+//! * `-e EXPR` — evaluate an expression instead of a file
+//! * `--segment N`, `--copy-bound N`, `--frame-bound N` — stack configuration
+//! * `--repeat N` — run the program N times per strategy (default 1)
+
+use std::time::Instant;
+
+use segstack_baselines::Strategy;
+use segstack_bench::table::{fmt_ns, Table};
+use segstack_core::Config;
+use segstack_scheme::Engine;
+
+struct Args {
+    source: String,
+    label: String,
+    segment: usize,
+    copy_bound: usize,
+    frame_bound: usize,
+    repeat: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut source = None;
+    let mut label = String::new();
+    let mut segment = 16 * 1024;
+    let mut copy_bound = 128;
+    let mut frame_bound = 64;
+    let mut repeat = 1;
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "-e" => {
+                let expr = take("-e")?;
+                label = expr.clone();
+                source = Some(expr);
+            }
+            "--segment" => segment = take("--segment")?.parse().map_err(|e| format!("{e}"))?,
+            "--copy-bound" => {
+                copy_bound = take("--copy-bound")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--frame-bound" => {
+                frame_bound = take("--frame-bound")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--repeat" => repeat = take("--repeat")?.parse().map_err(|e| format!("{e}"))?,
+            "-h" | "--help" => {
+                return Err("usage: compare [options] FILE.scm | -e EXPR".into());
+            }
+            path => {
+                label = path.to_string();
+                source = Some(
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?,
+                );
+            }
+        }
+    }
+    let source = source.ok_or("usage: compare [options] FILE.scm | -e EXPR")?;
+    Ok(Args { source, label, segment, copy_bound, frame_bound, repeat })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = match Config::builder()
+        .segment_slots(args.segment)
+        .copy_bound(args.copy_bound)
+        .frame_bound(args.frame_bound)
+        .build()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut t = Table::new(
+        format!("strategy comparison: {}", args.label),
+        format!(
+            "segment={} copy-bound={} frame-bound={} repeat={}",
+            args.segment, args.copy_bound, args.frame_bound, args.repeat
+        ),
+        &["strategy", "time", "result", "captures", "reinstates", "overflows", "slots copied", "heap frames"],
+    );
+    let mut baseline: Option<f64> = None;
+    for s in Strategy::ALL {
+        let mut engine = match Engine::builder().strategy(s).config(cfg.clone()).build() {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{s}: {e}");
+                continue;
+            }
+        };
+        // Warm once to compile and populate globals, then measure.
+        let warm = engine.eval(&args.source);
+        engine.reset_metrics();
+        let start = Instant::now();
+        let mut result = warm.map(|v| v.to_string()).unwrap_or_else(|e| format!("error: {e}"));
+        for _ in 0..args.repeat {
+            match engine.eval(&args.source) {
+                Ok(v) => result = v.to_string(),
+                Err(e) => {
+                    result = format!("error: {e}");
+                    break;
+                }
+            }
+        }
+        let nanos = start.elapsed().as_nanos() as f64 / args.repeat.max(1) as f64;
+        if baseline.is_none() {
+            baseline = Some(nanos);
+        }
+        let m = engine.metrics();
+        if result.len() > 24 {
+            result.truncate(21);
+            result.push_str("...");
+        }
+        t.row([
+            format!("{s}{}", if Some(nanos) == baseline { " (ref)" } else { "" }),
+            format!("{} ({:.2}x)", fmt_ns(nanos), nanos / baseline.expect("set above")),
+            result,
+            m.captures.to_string(),
+            m.reinstatements.to_string(),
+            m.overflows.to_string(),
+            m.slots_copied.to_string(),
+            m.heap_frames_allocated.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,28 @@
+//! Prints every experiment table (or the ones named on the command line).
+//!
+//! Run with `cargo run -p segstack-bench --release --bin harness`.
+//! Pass experiment ids (`e01`..`e14`) to run a subset.
+
+use segstack_bench::experiments;
+
+fn main() {
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let all = experiments::all();
+    let selected: Vec<_> = if filters.is_empty() {
+        all
+    } else {
+        all.into_iter().filter(|(id, _)| filters.iter().any(|f| f == id)).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiment matches; known ids: e01..e14");
+        std::process::exit(2);
+    }
+    println!("# segstack experiment harness");
+    println!("(times are wall-clock on this host; counters are host-independent)\n");
+    for (id, f) in selected {
+        let start = std::time::Instant::now();
+        let table = f();
+        println!("{table}");
+        println!("[{id} took {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

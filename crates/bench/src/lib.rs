@@ -1,0 +1,21 @@
+//! # segstack-bench
+//!
+//! The benchmark harness reproducing every experiment of *Representing
+//! Control in the Presence of First-Class Continuations* (see DESIGN.md §4
+//! for the experiment index E1–E14, each mapped to a paper figure or
+//! claim).
+//!
+//! Two entry points:
+//!
+//! * `cargo run -p segstack-bench --release --bin harness [e01 e09 ...]` —
+//!   prints every experiment table (or just the selected ones), with both
+//!   wall-clock times and architecture-independent counters.
+//! * `cargo bench -p segstack-bench` — Criterion microbenchmarks of the key
+//!   comparisons, with statistical rigor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;

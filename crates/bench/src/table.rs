@@ -1,0 +1,133 @@
+//! Plain-text result tables for the experiment harness.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id and title, e.g. `"E2: capture cost vs. stack depth"`.
+    pub title: String,
+    /// The paper claim this experiment checks.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        claim: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            title: title.into(),
+            claim: claim.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Appends an observation note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        writeln!(f, "claim: {}", self.claim)?;
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", c, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &w {
+            write!(f, "{:-<width$}|", "", width = width + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a nanoseconds-per-op figure compactly.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Formats a ratio like `1.73x`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("E0: demo", "demo claim", &["name", "value"]);
+        t.row(["segmented".to_string(), "1".to_string()]);
+        t.row(["heap".to_string(), "12345".to_string()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("## E0: demo"));
+        assert!(s.contains("| segmented | 1     |"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_bad_rows() {
+        let mut t = Table::new("t", "c", &["a", "b"]);
+        t.row(["only-one".to_string()]);
+    }
+
+    #[test]
+    fn formats_durations_and_ratios() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(4_500.0), "4.50 us");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00 ms");
+        assert_eq!(fmt_ratio(1.234), "1.23x");
+    }
+}

@@ -1,0 +1,38 @@
+//! # segstack-control
+//!
+//! Control abstractions built on first-class continuations, exercising the
+//! segmented control stack the way the paper's introduction motivates:
+//! "loops, nonblind backtracking \[16\], coroutines \[8\], and engines
+//! \[10, 7\]" (§2).
+//!
+//! The abstractions are implemented *in Scheme* on top of `call/cc` (and,
+//! for engines, the timer interrupt), loaded into a
+//! [`segstack_scheme::Engine`], and wrapped in typed Rust APIs:
+//!
+//! * **Coroutines** — symmetric control transfer, tree walkers, the
+//!   same-fringe problem.
+//! * **Generators** — one-way coroutines with `map`/`filter`/`take`
+//!   combinators over infinite streams.
+//! * **Engines** — timed preemption from continuations (Dybvig & Hieb,
+//!   "Engines from Continuations"), with a round-robin scheduler.
+//! * **Amb** — nonblind backtracking with `choose`/`amb-require`/
+//!   `amb-collect` and the n-queens puzzle.
+//!
+//! ```
+//! use segstack_control::Control;
+//! use segstack_baselines::Strategy;
+//!
+//! let mut kit = Control::new(Strategy::Segmented)?;
+//! // Two engines share the processor via continuation-based preemption.
+//! let order = kit.round_robin_countdowns(2, 300, 50)?;
+//! assert_eq!(order, vec![0, 1]);
+//! # Ok::<(), segstack_scheme::SchemeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kit;
+pub mod libs;
+
+pub use kit::{Control, CTAK};

@@ -1,0 +1,256 @@
+//! Return addresses and the code-stream frame-size table (paper §3, Figure 4).
+//!
+//! The paper stores, *in the code stream immediately before every return
+//! point*, a data word holding the size of the frame being returned into —
+//! more precisely, the displacement from the base of the callee's frame to
+//! the base of the caller's frame. Stack walkers use the return address to
+//! find this word and thereby find every frame boundary without any dynamic
+//! links in the frames themselves.
+//!
+//! We model native return addresses as [`CodeAddr`] values (a code chunk plus
+//! an instruction offset) and the code stream's data words as the
+//! [`FrameSizeTable`] trait: `displacement(ra)` is exactly the paper's
+//! "word placed immediately before the return point".
+
+use std::cell::RefCell;
+use std::fmt;
+
+/// An address in the (bytecode) code stream: a chunk id plus an instruction
+/// offset within that chunk.
+///
+/// This plays the role of a native return address in the paper. The word
+/// logically preceding it in the code stream (see [`FrameSizeTable`]) holds
+/// the frame displacement used for stack walking.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_core::CodeAddr;
+/// let ra = CodeAddr::new(0, 17);
+/// assert_eq!(ra.chunk(), 0);
+/// assert_eq!(ra.offset(), 17);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CodeAddr {
+    chunk: u32,
+    offset: u32,
+}
+
+impl CodeAddr {
+    /// Creates a code address from a chunk id and an instruction offset.
+    pub const fn new(chunk: u32, offset: u32) -> Self {
+        CodeAddr { chunk, offset }
+    }
+
+    /// The code chunk (compilation unit) this address points into.
+    pub fn chunk(self) -> u32 {
+        self.chunk
+    }
+
+    /// The instruction offset within the chunk.
+    pub fn offset(self) -> u32 {
+        self.offset
+    }
+}
+
+impl fmt::Debug for CodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.chunk, self.offset)
+    }
+}
+
+impl fmt::Display for CodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.chunk, self.offset)
+    }
+}
+
+/// A return address stored at the base of a frame (paper §3).
+///
+/// Besides ordinary return points ([`ReturnAddress::Code`]), two
+/// distinguished addresses appear at segment bases:
+///
+/// * [`ReturnAddress::Underflow`] — the underflow handler. "All other
+///   segments have the address of the underflow handler stored at the base
+///   of the segment" (§4). Returning through it reinstates the continuation
+///   in the link field of the current stack record.
+/// * [`ReturnAddress::Exit`] — "The initial stack segment has as its return
+///   address at the base of the segment the address of a routine that exits
+///   to the operating system" (§4). Returning through it ends the
+///   computation.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_core::{CodeAddr, ReturnAddress};
+/// let ra = ReturnAddress::Code(CodeAddr::new(2, 5));
+/// assert!(ra.is_code());
+/// assert!(!ReturnAddress::Underflow.is_code());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReturnAddress {
+    /// A normal return point in the code stream.
+    Code(CodeAddr),
+    /// The underflow handler (base of every non-initial stack segment).
+    Underflow,
+    /// The exit routine (base of the initial stack segment).
+    Exit,
+}
+
+impl ReturnAddress {
+    /// Returns `true` if this is an ordinary in-code return point.
+    pub fn is_code(self) -> bool {
+        matches!(self, ReturnAddress::Code(_))
+    }
+
+    /// Returns the code address, if this is an ordinary return point.
+    pub fn code(self) -> Option<CodeAddr> {
+        match self {
+            ReturnAddress::Code(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ReturnAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReturnAddress::Code(a) => write!(f, "ra@{a}"),
+            ReturnAddress::Underflow => write!(f, "ra@underflow"),
+            ReturnAddress::Exit => write!(f, "ra@exit"),
+        }
+    }
+}
+
+/// Access to the frame-size data words the compiler placed in the code
+/// stream (paper §3, Figure 4).
+///
+/// `displacement(ra)` returns the number of slots from the base of the frame
+/// whose return address is `ra` to the base of the frame below it (its
+/// caller's frame). In the paper this word sits immediately before the
+/// return point; here the code store looks it up from the same compiled
+/// artifact.
+///
+/// Implementations must be stable: the displacement for a given return
+/// address never changes once code is emitted (code chunks are append-only).
+pub trait FrameSizeTable {
+    /// The caller→callee frame displacement recorded just before return
+    /// point `ra`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `ra` is not a return point they emitted;
+    /// that indicates a corrupted stack and is unrecoverable.
+    fn displacement(&self, ra: CodeAddr) -> usize;
+}
+
+/// A trivial, growable [`FrameSizeTable`] for tests, simulations and
+/// benchmarks.
+///
+/// Each call to [`TestCode::ret_point`] "emits" a return point whose
+/// preceding frame-size word is the given displacement.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_core::{FrameSizeTable, TestCode};
+/// let code = TestCode::new();
+/// let ra = code.ret_point(4);
+/// assert_eq!(code.displacement(ra), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct TestCode {
+    disps: RefCell<Vec<usize>>,
+}
+
+impl TestCode {
+    /// Creates an empty synthetic code stream.
+    pub fn new() -> Self {
+        TestCode::default()
+    }
+
+    /// Emits a return point preceded by a frame-size word of `displacement`
+    /// slots, returning its address.
+    pub fn ret_point(&self, displacement: usize) -> CodeAddr {
+        let mut disps = self.disps.borrow_mut();
+        let offset = disps.len() as u32;
+        disps.push(displacement);
+        CodeAddr::new(0, offset)
+    }
+
+    /// Number of return points emitted so far.
+    pub fn len(&self) -> usize {
+        self.disps.borrow().len()
+    }
+
+    /// Returns `true` if no return points have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.disps.borrow().is_empty()
+    }
+}
+
+impl FrameSizeTable for TestCode {
+    fn displacement(&self, ra: CodeAddr) -> usize {
+        assert_eq!(ra.chunk(), 0, "TestCode has a single chunk");
+        self.disps.borrow()[ra.offset() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_addr_accessors() {
+        let a = CodeAddr::new(3, 9);
+        assert_eq!(a.chunk(), 3);
+        assert_eq!(a.offset(), 9);
+        assert_eq!(format!("{a}"), "3:9");
+        assert_eq!(format!("{a:?}"), "3:9");
+    }
+
+    #[test]
+    fn code_addr_ordering_is_lexicographic() {
+        assert!(CodeAddr::new(0, 100) < CodeAddr::new(1, 0));
+        assert!(CodeAddr::new(1, 1) < CodeAddr::new(1, 2));
+    }
+
+    #[test]
+    fn return_address_predicates() {
+        let ra = ReturnAddress::Code(CodeAddr::new(0, 0));
+        assert!(ra.is_code());
+        assert_eq!(ra.code(), Some(CodeAddr::new(0, 0)));
+        assert!(!ReturnAddress::Underflow.is_code());
+        assert_eq!(ReturnAddress::Underflow.code(), None);
+        assert_eq!(ReturnAddress::Exit.code(), None);
+    }
+
+    #[test]
+    fn return_address_display() {
+        assert_eq!(
+            format!("{}", ReturnAddress::Code(CodeAddr::new(1, 2))),
+            "ra@1:2"
+        );
+        assert_eq!(format!("{}", ReturnAddress::Underflow), "ra@underflow");
+        assert_eq!(format!("{}", ReturnAddress::Exit), "ra@exit");
+    }
+
+    #[test]
+    fn test_code_records_displacements() {
+        let code = TestCode::new();
+        assert!(code.is_empty());
+        let a = code.ret_point(3);
+        let b = code.ret_point(8);
+        assert_eq!(code.len(), 2);
+        assert_eq!(code.displacement(a), 3);
+        assert_eq!(code.displacement(b), 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn test_code_rejects_foreign_chunk() {
+        let code = TestCode::new();
+        code.displacement(CodeAddr::new(1, 0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Iterative teardown of linked control structures.
+//!
+//! Continuations link to continuations (stack records chain through their
+//! link fields, saved stack images contain continuation values, heap-model
+//! frames chain through dynamic links). A naive recursive `Drop` of such a
+//! chain consumes native Rust stack proportional to the chain length and
+//! can abort the process — ironic for a library whose subject is bounded
+//! control-stack usage.
+//!
+//! [`defer_drop`] breaks the recursion: the *outermost* drop switches into
+//! draining mode and processes a thread-local queue iteratively; drops
+//! reached while draining merely enqueue their own linked parts instead of
+//! recursing.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    static DRAINING: Cell<bool> = const { Cell::new(false) };
+    static QUEUE: RefCell<Vec<Box<dyn Any>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drops `value` without unbounded native-stack recursion, provided every
+/// potentially-recursive `Drop` along its ownership chain also routes its
+/// linked parts through `defer_drop`.
+///
+/// When called outside any deferred drop, this drops `value` immediately
+/// and then drains everything that got enqueued, iteratively. When called
+/// from within such a drop (i.e. while draining), it only enqueues.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_core::defer_drop;
+///
+/// struct Node(Option<Box<Node>>);
+/// impl Drop for Node {
+///     fn drop(&mut self) {
+///         if let Some(next) = self.0.take() {
+///             defer_drop(next); // queue instead of recursing
+///         }
+///     }
+/// }
+///
+/// let mut chain = Node(None);
+/// for _ in 0..1_000_000 {
+///     chain = Node(Some(Box::new(chain)));
+/// }
+/// defer_drop(chain); // would overflow the stack with recursive drops
+/// ```
+pub fn defer_drop<T: 'static>(value: T) {
+    if DRAINING.with(Cell::get) {
+        QUEUE.with(|q| q.borrow_mut().push(Box::new(value)));
+        return;
+    }
+    DRAINING.with(|d| d.set(true));
+    drop(value);
+    loop {
+        let next = QUEUE.with(|q| q.borrow_mut().pop());
+        match next {
+            Some(x) => drop(x),
+            None => break,
+        }
+    }
+    DRAINING.with(|d| d.set(false));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    struct Link {
+        next: Option<Rc<Link>>,
+        alive: Rc<Cell<usize>>,
+    }
+
+    impl Drop for Link {
+        fn drop(&mut self) {
+            self.alive.set(self.alive.get() - 1);
+            if let Some(next) = self.next.take() {
+                if Rc::strong_count(&next) == 1 {
+                    defer_drop(next);
+                }
+            }
+        }
+    }
+
+    fn chain(n: usize, alive: &Rc<Cell<usize>>) -> Rc<Link> {
+        let mut head = Rc::new(Link { next: None, alive: alive.clone() });
+        alive.set(alive.get() + 1);
+        for _ in 1..n {
+            alive.set(alive.get() + 1);
+            head = Rc::new(Link { next: Some(head), alive: alive.clone() });
+        }
+        head
+    }
+
+    #[test]
+    fn very_long_chains_drop_without_recursion() {
+        let alive = Rc::new(Cell::new(0));
+        let head = chain(2_000_000, &alive);
+        assert_eq!(alive.get(), 2_000_000);
+        drop(head);
+        assert_eq!(alive.get(), 0, "every link was freed");
+    }
+
+    #[test]
+    fn shared_tails_survive() {
+        let alive = Rc::new(Cell::new(0));
+        let head = chain(1000, &alive);
+        let keep = head.next.clone().unwrap();
+        drop(head);
+        assert_eq!(alive.get(), 999, "only the unshared head was freed");
+        drop(keep);
+        assert_eq!(alive.get(), 0);
+    }
+
+    #[test]
+    fn nested_defer_calls_work_outside_drops() {
+        // Plain values are simply dropped.
+        defer_drop(vec![1, 2, 3]);
+        defer_drop(String::from("x"));
+    }
+}

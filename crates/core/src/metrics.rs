@@ -1,0 +1,155 @@
+//! Architecture-independent cost counters.
+//!
+//! The paper's comparisons (heap vs. copy vs. cache vs. hybrid vs.
+//! segmented) are about *what work each model does per operation*: slots
+//! copied, frames heap-allocated, overflow checks executed, segments
+//! created. Every strategy maintains a [`Metrics`] record so benchmarks can
+//! report these counts alongside wall-clock time; the counts reproduce the
+//! paper's claims independently of the host machine.
+
+use std::fmt;
+
+/// Operation counters accumulated by a control-stack strategy.
+///
+/// All counters are monotonically increasing; [`Metrics::reset`] zeroes them
+/// between benchmark phases.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Metrics {
+    /// Non-tail procedure calls performed.
+    pub calls: u64,
+    /// Tail calls performed.
+    pub tail_calls: u64,
+    /// Returns performed (including those that triggered underflow).
+    pub returns: u64,
+    /// Continuations captured (`call/cc`).
+    pub captures: u64,
+    /// Continuations reinstated (invocations of continuation objects,
+    /// including implicit reinstatement on underflow).
+    pub reinstatements: u64,
+    /// Continuation splits performed before reinstatement (Figure 7).
+    pub splits: u64,
+    /// Stack overflows handled (implicit captures, §5).
+    pub overflows: u64,
+    /// Stack underflows handled (implicit reinstatements, §4–5).
+    pub underflows: u64,
+    /// Stack segments allocated (fresh allocations, not pool reuses).
+    pub segments_allocated: u64,
+    /// Stack segments obtained from the reuse pool.
+    pub segments_reused: u64,
+    /// Slots copied (the unit of copying cost: one slot clone).
+    pub slots_copied: u64,
+    /// Frames allocated in the heap (heap/cache/hybrid baselines; stack
+    /// records for the segmented strategy are counted separately).
+    pub heap_frames_allocated: u64,
+    /// Heap slots allocated for frames or flushed stack images.
+    pub heap_slots_allocated: u64,
+    /// Stack records (continuation descriptors) allocated.
+    pub stack_records_allocated: u64,
+    /// Overflow checks actually executed (Figure 8 cost model).
+    pub checks_executed: u64,
+    /// Call sites that skipped the overflow check thanks to the two-frame
+    /// reserve (leaf procedures, tail loops; §5).
+    pub checks_elided: u64,
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics record.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+
+    /// Total procedure-call interface operations (calls + tail calls +
+    /// returns) — the denominator for per-call overhead figures.
+    pub fn call_interface_ops(&self) -> u64 {
+        self.calls + self.tail_calls + self.returns
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.calls += other.calls;
+        self.tail_calls += other.tail_calls;
+        self.returns += other.returns;
+        self.captures += other.captures;
+        self.reinstatements += other.reinstatements;
+        self.splits += other.splits;
+        self.overflows += other.overflows;
+        self.underflows += other.underflows;
+        self.segments_allocated += other.segments_allocated;
+        self.segments_reused += other.segments_reused;
+        self.slots_copied += other.slots_copied;
+        self.heap_frames_allocated += other.heap_frames_allocated;
+        self.heap_slots_allocated += other.heap_slots_allocated;
+        self.stack_records_allocated += other.stack_records_allocated;
+        self.checks_executed += other.checks_executed;
+        self.checks_elided += other.checks_elided;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calls={} tail={} rets={} captures={} reinstates={} splits={} \
+             ovf={} unf={} segs={}+{}r copied={} heap-frames={} heap-slots={} \
+             records={} checks={}/{} elided",
+            self.calls,
+            self.tail_calls,
+            self.returns,
+            self.captures,
+            self.reinstatements,
+            self.splits,
+            self.overflows,
+            self.underflows,
+            self.segments_allocated,
+            self.segments_reused,
+            self.slots_copied,
+            self.heap_frames_allocated,
+            self.heap_slots_allocated,
+            self.stack_records_allocated,
+            self.checks_executed,
+            self.checks_elided,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed_and_resets() {
+        let mut m = Metrics::new();
+        assert_eq!(m, Metrics::default());
+        m.calls = 5;
+        m.slots_copied = 100;
+        m.reset();
+        assert_eq!(m, Metrics::default());
+    }
+
+    #[test]
+    fn call_interface_ops_sums_calls_and_returns() {
+        let m = Metrics { calls: 3, tail_calls: 2, returns: 4, ..Metrics::default() };
+        assert_eq!(m.call_interface_ops(), 9);
+    }
+
+    #[test]
+    fn absorb_adds_fieldwise() {
+        let mut a = Metrics { calls: 1, splits: 2, ..Metrics::default() };
+        let b = Metrics { calls: 10, underflows: 7, ..Metrics::default() };
+        a.absorb(&b);
+        assert_eq!(a.calls, 11);
+        assert_eq!(a.splits, 2);
+        assert_eq!(a.underflows, 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Metrics::new().to_string().is_empty());
+    }
+}

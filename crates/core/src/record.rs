@@ -1,0 +1,172 @@
+//! Continuation objects.
+//!
+//! In the paper a continuation *is* a stack record: base pointer, link,
+//! size, and the return address of its topmost frame (§3–4). Each strategy
+//! in this workspace has its own record representation, so the public
+//! [`Continuation`] type wraps a strategy-specific representation behind the
+//! [`KontRepr`] trait. Strategies downcast on reinstatement; handing a
+//! continuation to the wrong strategy yields
+//! [`StackError::ForeignContinuation`](crate::StackError::ForeignContinuation).
+
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::slot::StackSlot;
+
+/// Strategy-specific continuation representation.
+///
+/// This trait is not meant to be implemented outside control-stack strategy
+/// crates; it exists so that one [`Continuation`] type can flow through a VM
+/// regardless of which strategy produced it.
+pub trait KontRepr<S: StackSlot>: fmt::Debug {
+    /// Downcasting support for the owning strategy.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Total slots retained by this continuation, including everything
+    /// reachable through its link chain. This is the memory-accounting
+    /// figure behind experiment E11 (Danvy's duplication concern, §6).
+    fn retained_slots(&self) -> usize;
+
+    /// Number of records in the chain up to (and excluding) the exit record.
+    fn chain_len(&self) -> usize;
+
+    /// Name of the strategy that created this continuation.
+    fn strategy(&self) -> &'static str;
+}
+
+/// A first-class continuation: the rest of the computation from the point
+/// of capture.
+///
+/// Continuations are cheap to clone (reference-counted), may be invoked any
+/// number of times, and have indefinite extent — the properties §1–2 of the
+/// paper demand.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_core::{Config, ControlStack, SegmentedStack, TestCode, TestSlot};
+/// use std::rc::Rc;
+/// let code = Rc::new(TestCode::new());
+/// let mut stack = SegmentedStack::<TestSlot>::new(Config::default(), code.clone()).unwrap();
+/// let ra = code.ret_point(3);
+/// stack.call(3, ra, 1, true)?;
+/// let k = stack.capture();
+/// assert_eq!(k.strategy(), "segmented");
+/// assert!(k.retained_slots() > 0);
+/// # Ok::<(), segstack_core::StackError>(())
+/// ```
+pub struct Continuation<S: StackSlot> {
+    repr: Rc<dyn KontRepr<S>>,
+}
+
+impl<S: StackSlot> Continuation<S> {
+    /// Wraps a strategy-specific representation.
+    pub fn from_repr(repr: Rc<dyn KontRepr<S>>) -> Self {
+        Continuation { repr }
+    }
+
+    /// The canonical *exit* continuation: reinstating it returns its value
+    /// to the host (the paper's "routine that exits to the operating
+    /// system", §4). Every strategy accepts it.
+    pub fn exit() -> Self {
+        Continuation { repr: Rc::new(ExitKont) }
+    }
+
+    /// Returns `true` if this is the exit continuation.
+    pub fn is_exit(&self) -> bool {
+        self.repr.as_any().is::<ExitKont>()
+    }
+
+    /// Access to the underlying representation (for strategies).
+    pub fn repr(&self) -> &dyn KontRepr<S> {
+        &*self.repr
+    }
+
+    /// Pointer identity: two handles to the very same captured record.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.repr, &other.repr)
+    }
+
+    /// Total slots retained by the continuation's chain. See
+    /// [`KontRepr::retained_slots`].
+    pub fn retained_slots(&self) -> usize {
+        self.repr.retained_slots()
+    }
+
+    /// Number of records in the continuation's chain.
+    pub fn chain_len(&self) -> usize {
+        self.repr.chain_len()
+    }
+
+    /// The strategy that created this continuation (`"segmented"`,
+    /// `"heap"`, `"copy"`, `"cache"`, `"hybrid"`, or `"exit"`).
+    pub fn strategy(&self) -> &'static str {
+        self.repr.strategy()
+    }
+}
+
+impl<S: StackSlot> Clone for Continuation<S> {
+    fn clone(&self) -> Self {
+        Continuation { repr: self.repr.clone() }
+    }
+}
+
+impl<S: StackSlot> fmt::Debug for Continuation<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Continuation<{}: {} records, {} slots>",
+            self.strategy(),
+            self.chain_len(),
+            self.retained_slots()
+        )
+    }
+}
+
+/// The exit continuation's representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExitKont;
+
+impl<S: StackSlot> KontRepr<S> for ExitKont {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn retained_slots(&self) -> usize {
+        0
+    }
+
+    fn chain_len(&self) -> usize {
+        0
+    }
+
+    fn strategy(&self) -> &'static str {
+        "exit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::TestSlot;
+
+    #[test]
+    fn exit_continuation_properties() {
+        let k = Continuation::<TestSlot>::exit();
+        assert!(k.is_exit());
+        assert_eq!(k.retained_slots(), 0);
+        assert_eq!(k.chain_len(), 0);
+        assert_eq!(k.strategy(), "exit");
+        assert!(format!("{k:?}").contains("exit"));
+    }
+
+    #[test]
+    fn clone_preserves_identity() {
+        let k = Continuation::<TestSlot>::exit();
+        let k2 = k.clone();
+        assert!(k.ptr_eq(&k2));
+        let k3 = Continuation::<TestSlot>::exit();
+        assert!(!k.ptr_eq(&k3), "distinct exit records are distinct objects");
+    }
+}

@@ -1,0 +1,1004 @@
+//! The paper's contribution: the segmented control stack (§3–§5).
+//!
+//! The control stack is a linked list of stack segments, each described by a
+//! stack record (base, link, size, return address of the topmost frame).
+//! Continuation capture splits the current segment in place — no copying
+//! (Figure 5). Continuation reinstatement copies a *bounded* amount, first
+//! splitting over-large saved segments at a frame boundary (Figures 6–7).
+//! Stack overflow is an implicit capture; returning off the base of a
+//! segment (underflow) is an implicit reinstatement (§5).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::addr::{CodeAddr, FrameSizeTable, ReturnAddress};
+use crate::config::Config;
+use crate::error::StackError;
+use crate::metrics::Metrics;
+use crate::record::{Continuation, KontRepr};
+use crate::segment::{Buffer, SegmentAllocator};
+use crate::slot::StackSlot;
+use crate::traits::{ControlStack, StackStats};
+use crate::walker::split_point;
+
+/// Placeholder return address stored in size-zero ablation records; never
+/// read (reinstatement skips through empty records before touching `ra`).
+const EMPTY_RECORD_RA: CodeAddr = CodeAddr::new(u32::MAX, u32::MAX);
+
+/// A sealed stack segment: the paper's stack record, in its continuation
+/// role.
+struct SealedSeg<S: StackSlot> {
+    /// The (possibly shared) buffer this record points into.
+    buf: Buffer<S>,
+    /// Base of the sealed segment within `buf`.
+    base: usize,
+    /// Occupied size in slots.
+    size: usize,
+    /// Return address of the topmost frame (stored here because the word at
+    /// the frame base was replaced by the underflow handler).
+    ra: CodeAddr,
+    /// The next stack record down, or `None` for the exit routine.
+    link: Option<Continuation<S>>,
+}
+
+impl<S: StackSlot> fmt::Debug for SealedSeg<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SealedSeg")
+            .field("base", &self.base)
+            .field("size", &self.size)
+            .field("ra", &self.ra)
+            .field("linked", &self.link.is_some())
+            .finish()
+    }
+}
+
+/// Continuation representation of the segmented strategy.
+///
+/// Interior mutability is required because reinstating an over-large
+/// continuation restructures it in place (splits it at a frame boundary);
+/// the restructuring is semantically neutral, so sharing is safe.
+#[derive(Debug)]
+struct SegKont<S: StackSlot>(RefCell<SealedSeg<S>>);
+
+impl<S: StackSlot> Drop for SegKont<S> {
+    fn drop(&mut self) {
+        // Record chains can be long (one record per overflow), and segment
+        // buffers hold continuation values pointing at further buffers;
+        // tear both down iteratively.
+        let mut s = self.0.borrow_mut();
+        if let Some(link) = s.link.take() {
+            crate::drops::defer_drop(link);
+        }
+        let empty: Buffer<S> = Rc::new(RefCell::new(Vec::new().into_boxed_slice()));
+        crate::drops::defer_drop(std::mem::replace(&mut s.buf, empty));
+    }
+}
+
+impl<S: StackSlot> KontRepr<S> for SegKont<S> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn retained_slots(&self) -> usize {
+        let s = self.0.borrow();
+        s.size + s.link.as_ref().map_or(0, Continuation::retained_slots)
+    }
+
+    fn chain_len(&self) -> usize {
+        1 + self.0.borrow().link.as_ref().map_or(0, Continuation::chain_len)
+    }
+
+    fn strategy(&self) -> &'static str {
+        "segmented"
+    }
+}
+
+/// The segmented control stack of Hieb, Dybvig & Bruggeman (PLDI 1990).
+///
+/// * `call`/`ret` cost what a traditional stack costs: a frame-pointer
+///   adjustment (§3), plus one register compare per checked call (Figure 8).
+/// * [`capture`](ControlStack::capture) is O(1) and copies nothing.
+/// * [`reinstate`](ControlStack::reinstate) copies at most
+///   `max(copy_bound, frame_bound)` slots, splitting larger saved segments.
+/// * Overflow allocates a new segment and seals the old one as a
+///   continuation; underflow reinstates the link — so recursion depth is
+///   unbounded and there is no overflow/underflow "bouncing" (§5).
+///
+/// # Examples
+///
+/// ```
+/// use segstack_core::{Config, ControlStack, ReturnAddress, SegmentedStack, TestCode, TestSlot};
+/// use std::rc::Rc;
+///
+/// let code = Rc::new(TestCode::new());
+/// let mut stack = SegmentedStack::<TestSlot>::new(Config::default(), code.clone())?;
+/// let ra = code.ret_point(4);
+/// stack.set(5, TestSlot::Int(42)); // stage the argument at d + 1
+/// stack.call(4, ra, 1, true)?;
+/// assert_eq!(stack.get(1), TestSlot::Int(42)); // callee sees its argument
+/// assert_eq!(stack.ret()?, ReturnAddress::Code(ra));
+/// # Ok::<(), segstack_core::StackError>(())
+/// ```
+pub struct SegmentedStack<S: StackSlot> {
+    code: Rc<dyn FrameSizeTable>,
+    cfg: Config,
+    alloc: SegmentAllocator<S>,
+    /// Buffer holding the current segment (possibly shared with sealed
+    /// continuations below `base`).
+    buf: Buffer<S>,
+    /// Base of the current stack record within `buf`.
+    base: usize,
+    /// Exclusive end of the current segment within `buf`.
+    end: usize,
+    /// The frame pointer: base of the current frame. There is no stack
+    /// pointer (§3).
+    fp: usize,
+    /// Link field of the current stack record.
+    link: Option<Continuation<S>>,
+    metrics: Metrics,
+}
+
+impl<S: StackSlot> SegmentedStack<S> {
+    /// Creates a segmented stack with an initial segment of
+    /// `cfg.segment_slots()` slots whose base holds the exit routine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackError::OutOfStackMemory`] if a configured budget
+    /// cannot cover the initial segment.
+    pub fn new(cfg: Config, code: Rc<dyn FrameSizeTable>) -> Result<Self, StackError> {
+        let mut metrics = Metrics::new();
+        let mut alloc = SegmentAllocator::new(&cfg);
+        let buf = alloc.alloc(cfg.segment_slots(), &mut metrics)?;
+        let end = buf.borrow().len();
+        buf.borrow_mut()[0] = S::from_return_address(ReturnAddress::Exit);
+        Ok(SegmentedStack { code, cfg, alloc, buf, base: 0, end, fp: 0, link: None, metrics })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The frame pointer (absolute index of the current frame base).
+    pub fn fp(&self) -> usize {
+        self.fp
+    }
+
+    /// Base of the current stack record.
+    pub fn segment_base(&self) -> usize {
+        self.base
+    }
+
+    /// The end-of-stack pointer: `esp` sits two frame bounds before the
+    /// segment end (Figure 8), so the overflow check is a single compare
+    /// that ignores frame sizes, and leaf frames need no check at all.
+    pub fn esp(&self) -> usize {
+        self.end - self.cfg.esp_reserve()
+    }
+
+    /// Segments currently pooled by the allocator (reuse diagnostics).
+    pub fn pooled_segments(&self) -> usize {
+        self.alloc.pooled()
+    }
+
+    /// Overflow recovery: "If stack overflow can be detected while the
+    /// system is in a known state, overflow can be treated as an implicit
+    /// continuation capture" (§5). Seals everything through the caller's
+    /// frame (including the staged partial frame boundary) and moves only
+    /// the partial frame to a fresh segment.
+    fn overflow_call(&mut self, d: usize, ra: CodeAddr, nargs: usize) -> Result<(), StackError> {
+        self.metrics.overflows += 1;
+        let newbuf = self.alloc.alloc(self.cfg.segment_slots(), &mut self.metrics)?;
+        let seal_top = self.fp + d;
+        let sealed = SealedSeg {
+            buf: self.buf.clone(),
+            base: self.base,
+            size: seal_top - self.base,
+            ra,
+            link: self.link.take(),
+        };
+        self.metrics.stack_records_allocated += 1;
+        let k = Continuation::from_repr(Rc::new(SegKont(RefCell::new(sealed))));
+        let newlen = newbuf.borrow().len();
+        {
+            let src = self.buf.borrow();
+            let mut dst = newbuf.borrow_mut();
+            dst[0] = S::from_return_address(ReturnAddress::Underflow);
+            for j in 0..nargs {
+                dst[1 + j] = src[seal_top + 1 + j].clone();
+            }
+        }
+        self.metrics.slots_copied += nargs as u64;
+        self.buf = newbuf;
+        self.base = 0;
+        self.end = newlen;
+        self.fp = 0;
+        self.link = Some(k);
+        Ok(())
+    }
+
+    /// Splits an over-large saved segment before reinstatement (Figure 7).
+    /// The bottom part becomes a new record spliced into the chain; the
+    /// original record is narrowed to the top part. The only mutation to
+    /// sealed stack words is writing the underflow handler at the split
+    /// frame's base, which is semantically neutral.
+    fn maybe_split(&mut self, kont: &SegKont<S>) {
+        if kont.0.borrow().size <= self.cfg.copy_bound() {
+            return;
+        }
+        let mut s = kont.0.borrow_mut();
+        let top = s.base + s.size;
+        let sp = {
+            let buf = s.buf.borrow();
+            split_point(&buf, s.base, top, s.ra, &*self.code, self.cfg.copy_bound())
+        };
+        let Some(sp) = sp else { return };
+        let bottom_ra = s.buf.borrow()[sp]
+            .as_return_address()
+            .expect("split point must be a frame base")
+            .code()
+            .expect("a frame base above the segment base holds a code return address");
+        let bottom = SealedSeg {
+            buf: s.buf.clone(),
+            base: s.base,
+            size: sp - s.base,
+            ra: bottom_ra,
+            link: s.link.take(),
+        };
+        s.buf.borrow_mut()[sp] = S::from_return_address(ReturnAddress::Underflow);
+        s.base = sp;
+        s.size = top - sp;
+        s.link = Some(Continuation::from_repr(Rc::new(SegKont(RefCell::new(bottom)))));
+        self.metrics.splits += 1;
+        self.metrics.stack_records_allocated += 1;
+    }
+}
+
+impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
+    fn name(&self) -> &'static str {
+        "segmented"
+    }
+
+    fn get(&self, i: usize) -> S {
+        debug_assert!(self.fp + i < self.end, "slot read beyond segment end");
+        self.buf.borrow()[self.fp + i].clone()
+    }
+
+    fn set(&mut self, i: usize, v: S) {
+        debug_assert!(self.fp + i < self.end, "slot write beyond segment end");
+        self.buf.borrow_mut()[self.fp + i] = v;
+    }
+
+    fn call(&mut self, d: usize, ra: CodeAddr, nargs: usize, check: bool)
+        -> Result<(), StackError>
+    {
+        debug_assert!(d >= 1, "a caller frame occupies at least its return-address slot");
+        self.metrics.calls += 1;
+        let bound = self.cfg.frame_bound();
+        if d > bound || 1 + nargs > bound {
+            return Err(StackError::FrameTooLarge { requested: d.max(1 + nargs), bound });
+        }
+        let new_fp = self.fp + d;
+        if check {
+            self.metrics.checks_executed += 1;
+            if new_fp > self.esp() {
+                return self.overflow_call(d, ra, nargs);
+            }
+        } else {
+            self.metrics.checks_elided += 1;
+            debug_assert!(
+                new_fp + bound <= self.end,
+                "unchecked call escaped the two-frame reserve"
+            );
+        }
+        self.buf.borrow_mut()[new_fp] = S::from_return_address(ReturnAddress::Code(ra));
+        self.fp = new_fp;
+        Ok(())
+    }
+
+    fn tail_call(&mut self, src: usize, nargs: usize) {
+        // An ascending copy with dst below src never reads a clobbered
+        // slot, so src merely needs to sit at or above the target base.
+        debug_assert!(src >= 1, "tail-call staging below the frame base");
+        self.metrics.tail_calls += 1;
+        let mut b = self.buf.borrow_mut();
+        for j in 0..nargs {
+            b[self.fp + 1 + j] = b[self.fp + src + j].clone();
+        }
+    }
+
+    fn ret(&mut self) -> Result<ReturnAddress, StackError> {
+        self.metrics.returns += 1;
+        let ra = self.buf.borrow()[self.fp]
+            .as_return_address()
+            .expect("frame base must hold a return address");
+        match ra {
+            ReturnAddress::Code(r) => {
+                self.fp -= self.code.displacement(r);
+                Ok(ra)
+            }
+            ReturnAddress::Underflow => {
+                debug_assert_eq!(self.fp, self.base, "underflow handler off the segment base");
+                self.metrics.underflows += 1;
+                let k = self.link.take().expect("underflow with no linked continuation");
+                // An underflow consumes its record; if this was the last
+                // reference to the record's buffer, salvage it for reuse.
+                let salvage = k
+                    .repr()
+                    .as_any()
+                    .downcast_ref::<SegKont<S>>()
+                    .map(|sk| sk.0.borrow().buf.clone());
+                let result = self.reinstate(&k);
+                drop(k);
+                if let Some(buf) = salvage {
+                    if !Rc::ptr_eq(&buf, &self.buf) {
+                        self.alloc.retire(buf); // pooled only if unshared
+                    }
+                }
+                result
+            }
+            ReturnAddress::Exit => Ok(ra),
+        }
+    }
+
+    fn capture(&mut self) -> Continuation<S> {
+        self.metrics.captures += 1;
+        if self.fp == self.base {
+            if self.cfg.tail_capture_rule() {
+                // Empty current segment: "no changes are made to the current
+                // stack record and the link field of the current stack record
+                // serves as the new continuation" (§4). This is what keeps
+                // `(define (looper) (call/cc (lambda (k) (looper))))` in
+                // constant space.
+                return self.link.clone().unwrap_or_else(Continuation::exit);
+            }
+            // Ablation: the naive behaviour the paper warns against — chain
+            // a fresh empty record on every capture. "The control stack
+            // would grow progressively longer and the program would
+            // eventually run out of memory" (§4).
+            let sealed = SealedSeg {
+                buf: self.buf.clone(),
+                base: self.base,
+                size: 0,
+                ra: EMPTY_RECORD_RA,
+                link: self.link.take(),
+            };
+            self.metrics.stack_records_allocated += 1;
+            let k = Continuation::from_repr(Rc::new(SegKont(RefCell::new(sealed))));
+            self.link = Some(k.clone());
+            return k;
+        }
+        let live_ra = self.buf.borrow()[self.fp]
+            .as_return_address()
+            .expect("frame base must hold a return address")
+            .code()
+            .expect("a live frame above the segment base has a code return address");
+        let sealed = SealedSeg {
+            buf: self.buf.clone(),
+            base: self.base,
+            size: self.fp - self.base,
+            ra: live_ra,
+            link: self.link.take(),
+        };
+        self.metrics.stack_records_allocated += 1;
+        let k = Continuation::from_repr(Rc::new(SegKont(RefCell::new(sealed))));
+        self.buf.borrow_mut()[self.fp] = S::from_return_address(ReturnAddress::Underflow);
+        self.base = self.fp;
+        self.link = Some(k.clone());
+        k
+    }
+
+    fn reinstate(&mut self, k: &Continuation<S>) -> Result<ReturnAddress, StackError> {
+        self.metrics.reinstatements += 1;
+        if k.is_exit() {
+            self.buf.borrow_mut()[self.base] = S::from_return_address(ReturnAddress::Exit);
+            self.fp = self.base;
+            self.link = None;
+            return Ok(ReturnAddress::Exit);
+        }
+        // Skip through empty ablation records (size 0) to the first real
+        // segment — linear in the chain, which is the ablation's point.
+        let mut resolved = k.clone();
+        loop {
+            let Some(sk) = resolved.repr().as_any().downcast_ref::<SegKont<S>>() else {
+                return Err(StackError::ForeignContinuation { strategy: "segmented" });
+            };
+            let sealed = sk.0.borrow();
+            if sealed.size > 0 {
+                break;
+            }
+            match &sealed.link {
+                Some(inner) => {
+                    let inner = inner.clone();
+                    drop(sealed);
+                    resolved = inner;
+                    if resolved.is_exit() {
+                        drop(resolved);
+                        self.buf.borrow_mut()[self.base] =
+                            S::from_return_address(ReturnAddress::Exit);
+                        self.fp = self.base;
+                        self.link = None;
+                        return Ok(ReturnAddress::Exit);
+                    }
+                }
+                None => {
+                    drop(sealed);
+                    self.buf.borrow_mut()[self.base] =
+                        S::from_return_address(ReturnAddress::Exit);
+                    self.fp = self.base;
+                    self.link = None;
+                    return Ok(ReturnAddress::Exit);
+                }
+            }
+        }
+        let k = &resolved;
+        let kont = k
+            .repr()
+            .as_any()
+            .downcast_ref::<SegKont<S>>()
+            .ok_or(StackError::ForeignContinuation { strategy: "segmented" })?;
+        self.maybe_split(kont);
+        let (src_buf, src_base, size, ra, klink) = {
+            let s = kont.0.borrow();
+            (s.buf.clone(), s.base, s.size, s.ra, s.link.clone())
+        };
+        if self.base + size + self.cfg.esp_reserve() > self.end {
+            let newbuf = self.alloc.alloc(size + self.cfg.esp_reserve(), &mut self.metrics)?;
+            let newlen = newbuf.borrow().len();
+            let old = std::mem::replace(&mut self.buf, newbuf);
+            self.alloc.retire(old);
+            self.base = 0;
+            self.end = newlen;
+        }
+        if Rc::ptr_eq(&src_buf, &self.buf) {
+            // The saved segment lives below the current base in the very
+            // same buffer (capture never copied it out); the regions are
+            // disjoint by construction.
+            debug_assert!(src_base + size <= self.base);
+            let mut b = self.buf.borrow_mut();
+            for i in 0..size {
+                b[self.base + i] = b[src_base + i].clone();
+            }
+        } else {
+            let srcb = src_buf.borrow();
+            let mut b = self.buf.borrow_mut();
+            for i in 0..size {
+                b[self.base + i] = srcb[src_base + i].clone();
+            }
+        }
+        self.metrics.slots_copied += size as u64;
+        self.fp = self.base + size - self.code.displacement(ra);
+        self.link = klink;
+        Ok(ReturnAddress::Code(ra))
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn stats(&self) -> StackStats {
+        let (chain_records, chain_slots) = match &self.link {
+            Some(k) => (k.chain_len(), k.retained_slots()),
+            None => (0, 0),
+        };
+        StackStats {
+            chain_records,
+            chain_slots,
+            current_used_slots: self.fp - self.base,
+            current_free_slots: self.esp().saturating_sub(self.fp),
+        }
+    }
+
+    fn backtrace(&self, limit: usize) -> Vec<CodeAddr> {
+        let mut out = Vec::new();
+        let mut buf = self.buf.clone();
+        let mut pos = self.fp;
+        let mut link = self.link.clone();
+        loop {
+            let ra = buf.borrow()[pos].as_return_address().expect("frame base holds an address");
+            match ra {
+                ReturnAddress::Code(r) => {
+                    out.push(r);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                    pos -= self.code.displacement(r);
+                }
+                ReturnAddress::Underflow => {
+                    // Continue the walk inside the linked sealed segment.
+                    let Some(k) = link.take() else { return out };
+                    let Some(sk) = k.repr().as_any().downcast_ref::<SegKont<S>>() else {
+                        return out;
+                    };
+                    let sealed = sk.0.borrow();
+                    if sealed.size == 0 {
+                        // Empty ablation record: nothing to walk, follow on.
+                        let next = sealed.link.clone();
+                        drop(sealed);
+                        link = next;
+                        continue;
+                    }
+                    out.push(sealed.ra);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                    pos = sealed.base + sealed.size - self.code.displacement(sealed.ra);
+                    buf = sealed.buf.clone();
+                    link = sealed.link.clone();
+                }
+                ReturnAddress::Exit => return out,
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.link = None;
+        if Rc::strong_count(&self.buf) > 1 || self.buf.borrow().len() < self.cfg.segment_slots() {
+            let fresh = self
+                .alloc
+                .alloc(self.cfg.segment_slots(), &mut self.metrics)
+                .expect("segment budget exhausted during reset");
+            let old = std::mem::replace(&mut self.buf, fresh);
+            self.alloc.retire(old);
+        }
+        self.end = self.buf.borrow().len();
+        self.base = 0;
+        self.fp = 0;
+        self.buf.borrow_mut()[0] = S::from_return_address(ReturnAddress::Exit);
+    }
+}
+
+impl<S: StackSlot> fmt::Debug for SegmentedStack<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentedStack")
+            .field("base", &self.base)
+            .field("fp", &self.fp)
+            .field("end", &self.end)
+            .field("linked", &self.link.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::TestCode;
+    use crate::slot::TestSlot;
+
+    fn small_cfg() -> Config {
+        Config::builder()
+            .segment_slots(256)
+            .frame_bound(16)
+            .copy_bound(32)
+            .build()
+            .unwrap()
+    }
+
+    fn setup(cfg: Config) -> (Rc<TestCode>, SegmentedStack<TestSlot>) {
+        let code = Rc::new(TestCode::new());
+        let stack = SegmentedStack::new(cfg, code.clone() as Rc<dyn FrameSizeTable>).unwrap();
+        (code, stack)
+    }
+
+    /// Stages one argument and calls with displacement `d`.
+    fn call1(
+        stack: &mut SegmentedStack<TestSlot>,
+        code: &TestCode,
+        d: usize,
+        arg: i64,
+        check: bool,
+    ) -> CodeAddr {
+        let ra = code.ret_point(d);
+        stack.set(d + 1, TestSlot::Int(arg));
+        stack.call(d, ra, 1, check).unwrap();
+        ra
+    }
+
+    #[test]
+    fn call_and_return_round_trip() {
+        let (code, mut stack) = setup(small_cfg());
+        let ra = call1(&mut stack, &code, 4, 7, true);
+        assert_eq!(stack.fp(), 4);
+        assert_eq!(stack.get(0), TestSlot::Ra(ReturnAddress::Code(ra)));
+        assert_eq!(stack.get(1), TestSlot::Int(7));
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra));
+        assert_eq!(stack.fp(), 0);
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+    }
+
+    #[test]
+    fn nested_calls_unwind_in_order() {
+        let (code, mut stack) = setup(small_cfg());
+        let ra1 = call1(&mut stack, &code, 3, 1, true);
+        let ra2 = call1(&mut stack, &code, 5, 2, true);
+        let ra3 = call1(&mut stack, &code, 2, 3, true);
+        assert_eq!(stack.fp(), 10);
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra3));
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra2));
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra1));
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+        assert_eq!(stack.metrics().calls, 3);
+        assert_eq!(stack.metrics().returns, 4);
+    }
+
+    #[test]
+    fn tail_call_shuffles_arguments_in_place() {
+        let (code, mut stack) = setup(small_cfg());
+        call1(&mut stack, &code, 4, 7, true);
+        let fp_before = stack.fp();
+        stack.set(5, TestSlot::Int(100));
+        stack.set(6, TestSlot::Int(200));
+        stack.tail_call(5, 2);
+        assert_eq!(stack.fp(), fp_before, "tail call reuses the frame");
+        assert_eq!(stack.get(1), TestSlot::Int(100));
+        assert_eq!(stack.get(2), TestSlot::Int(200));
+        assert_eq!(stack.metrics().tail_calls, 1);
+    }
+
+    #[test]
+    fn capture_is_o1_and_copies_nothing() {
+        let (code, mut stack) = setup(small_cfg());
+        for i in 0..10 {
+            call1(&mut stack, &code, 4, i, true);
+        }
+        let copied_before = stack.metrics().slots_copied;
+        let k = stack.capture();
+        assert_eq!(stack.metrics().slots_copied, copied_before, "capture copies nothing");
+        assert_eq!(k.chain_len(), 1);
+        assert_eq!(k.retained_slots(), 40);
+        // The live frame's return address was replaced by the underflow
+        // handler and the current record now starts at fp.
+        assert_eq!(stack.segment_base(), stack.fp());
+        assert_eq!(stack.get(0), TestSlot::Ra(ReturnAddress::Underflow));
+    }
+
+    #[test]
+    fn capture_then_return_underflows_into_continuation() {
+        let (code, mut stack) = setup(small_cfg());
+        let ra1 = call1(&mut stack, &code, 4, 1, true);
+        let ra2 = call1(&mut stack, &code, 4, 2, true);
+        let _k = stack.capture();
+        // Returning from the live frame goes through the underflow handler
+        // and reinstates the sealed segment, resuming at ra2.
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra2));
+        assert_eq!(stack.metrics().underflows, 1);
+        assert_eq!(stack.metrics().reinstatements, 1);
+        // And the reinstated copy unwinds normally from there.
+        assert_eq!(stack.get(1), TestSlot::Int(1), "caller frame contents restored");
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra1));
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+    }
+
+    #[test]
+    fn reinstate_restores_control_multiple_times() {
+        let (code, mut stack) = setup(small_cfg());
+        call1(&mut stack, &code, 4, 1, true);
+        let ra2 = call1(&mut stack, &code, 4, 2, true);
+        let k = stack.capture();
+        for round in 0..3 {
+            let resumed = stack.reinstate(&k).unwrap();
+            assert_eq!(resumed, ReturnAddress::Code(ra2), "round {round}");
+            assert_eq!(stack.get(1), TestSlot::Int(1));
+        }
+        assert_eq!(stack.metrics().reinstatements, 3);
+    }
+
+    #[test]
+    fn capture_on_empty_segment_returns_link_tail_rule() {
+        let (code, mut stack) = setup(small_cfg());
+        call1(&mut stack, &code, 4, 1, true);
+        let k1 = stack.capture();
+        // fp == base now; a second capture must reuse the link, not grow
+        // the chain (the `looper` rule, §4).
+        let k2 = stack.capture();
+        assert!(k1.ptr_eq(&k2));
+        assert_eq!(stack.stats().chain_records, 1);
+    }
+
+    #[test]
+    fn capture_at_toplevel_returns_exit() {
+        let (_code, mut stack) = setup(small_cfg());
+        let k = stack.capture();
+        assert!(k.is_exit());
+    }
+
+    #[test]
+    fn reinstate_exit_continuation_halts() {
+        let (code, mut stack) = setup(small_cfg());
+        let k = Continuation::exit();
+        call1(&mut stack, &code, 4, 1, true);
+        assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Exit);
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+    }
+
+    #[test]
+    fn overflow_allocates_new_segment_and_seals_old() {
+        let (code, mut stack) = setup(small_cfg());
+        // segment 256, reserve 32 -> esp = 224; frames of 8 slots.
+        let mut depth = 0;
+        while stack.metrics().overflows == 0 {
+            call1(&mut stack, &code, 8, depth, true);
+            depth += 1;
+            assert!(depth < 100, "overflow never triggered");
+        }
+        assert_eq!(stack.metrics().segments_allocated, 2);
+        assert_eq!(stack.fp(), 0, "execution continued at the new segment base");
+        assert_eq!(stack.get(0), TestSlot::Ra(ReturnAddress::Underflow));
+        assert_eq!(stack.get(1), TestSlot::Int(depth - 1), "partial frame moved");
+        assert_eq!(stack.stats().chain_records, 1);
+    }
+
+    #[test]
+    fn deep_recursion_unwinds_across_segments() {
+        let (code, mut stack) = setup(small_cfg());
+        let mut ras = Vec::new();
+        for i in 0..500 {
+            ras.push(call1(&mut stack, &code, 8, i, true));
+        }
+        assert!(stack.metrics().overflows > 10);
+        for (i, ra) in ras.into_iter().enumerate().rev() {
+            assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra), "return {i}");
+            if i > 0 {
+                assert_eq!(stack.get(1), TestSlot::Int(i as i64 - 1), "caller arg after return {i}");
+            }
+        }
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+        // Every overflow's seal is unwound through at least one underflow;
+        // splitting of large seals can add more.
+        assert!(stack.metrics().underflows >= stack.metrics().overflows);
+    }
+
+    #[test]
+    fn underflow_reinstate_is_bounded_by_copy_bound() {
+        let cfg = Config::builder()
+            .segment_slots(4096)
+            .frame_bound(16)
+            .copy_bound(32)
+            .build()
+            .unwrap();
+        let (code, mut stack) = setup(cfg);
+        for i in 0..100 {
+            call1(&mut stack, &code, 8, i, true);
+        }
+        let k = stack.capture();
+        assert_eq!(k.retained_slots(), 800);
+        let before = stack.metrics().slots_copied;
+        stack.reinstate(&k).unwrap();
+        let copied = stack.metrics().slots_copied - before;
+        assert!(copied <= 32, "reinstate copied {copied} slots, bound is 32");
+        assert_eq!(stack.metrics().splits, 1);
+    }
+
+    #[test]
+    fn split_preserves_full_unwind() {
+        let cfg = Config::builder()
+            .segment_slots(4096)
+            .frame_bound(16)
+            .copy_bound(24)
+            .build()
+            .unwrap();
+        let (code, mut stack) = setup(cfg);
+        let mut ras = Vec::new();
+        for i in 0..50 {
+            ras.push(call1(&mut stack, &code, 8, i, true));
+        }
+        let k = stack.capture();
+        assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Code(ras[49]));
+        // We resumed at call 50's return point with the frame pointer on
+        // frame 48; unwinding yields ras[48]..ras[0] and then the exit.
+        for i in (0..49).rev() {
+            assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ras[i]), "return {i}");
+        }
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+        assert!(stack.metrics().splits >= 1);
+    }
+
+    #[test]
+    fn multiple_reinstatements_after_split_are_consistent() {
+        let cfg = Config::builder()
+            .segment_slots(4096)
+            .frame_bound(16)
+            .copy_bound(24)
+            .build()
+            .unwrap();
+        let (code, mut stack) = setup(cfg);
+        for i in 0..50 {
+            call1(&mut stack, &code, 8, i, true);
+        }
+        let k = stack.capture();
+        let first = stack.reinstate(&k).unwrap();
+        // Unwind fully to exit.
+        loop {
+            if stack.ret().unwrap() == ReturnAddress::Exit {
+                break;
+            }
+        }
+        // Reinstate the same continuation again; it must resume identically
+        // even though it was split in place by the first reinstatement.
+        let second = stack.reinstate(&k).unwrap();
+        assert_eq!(first, second);
+        // The frame pointer sits on frame 48, the topmost *sealed* frame
+        // (the frame live at capture time is not part of the continuation).
+        assert_eq!(stack.get(1), TestSlot::Int(48));
+        loop {
+            if stack.ret().unwrap() == ReturnAddress::Exit {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn reinstate_foreign_continuation_errors() {
+        #[derive(Debug)]
+        struct Foreign;
+        impl KontRepr<TestSlot> for Foreign {
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn retained_slots(&self) -> usize {
+                0
+            }
+            fn chain_len(&self) -> usize {
+                0
+            }
+            fn strategy(&self) -> &'static str {
+                "foreign"
+            }
+        }
+        let (_code, mut stack) = setup(small_cfg());
+        let k = Continuation::from_repr(Rc::new(Foreign));
+        assert_eq!(
+            stack.reinstate(&k).unwrap_err(),
+            StackError::ForeignContinuation { strategy: "segmented" }
+        );
+    }
+
+    #[test]
+    fn frame_bound_is_enforced() {
+        let (code, mut stack) = setup(small_cfg());
+        let ra = code.ret_point(17);
+        let err = stack.call(17, ra, 0, true).unwrap_err();
+        assert!(matches!(err, StackError::FrameTooLarge { requested: 17, bound: 16 }));
+        let ra = code.ret_point(4);
+        let err = stack.call(4, ra, 16, true).unwrap_err();
+        assert!(matches!(err, StackError::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_from_overflow() {
+        let cfg = Config::builder()
+            .segment_slots(128)
+            .frame_bound(16)
+            .copy_bound(32)
+            .max_total_slots(128)
+            .pool_segments(0)
+            .build()
+            .unwrap();
+        let (code, mut stack) = setup(cfg);
+        let mut result = Ok(());
+        for i in 0..100 {
+            let ra = code.ret_point(8);
+            stack.set(9, TestSlot::Int(i));
+            result = stack.call(8, ra, 1, true);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(result, Err(StackError::OutOfStackMemory { .. })));
+    }
+
+    #[test]
+    fn unchecked_calls_skip_the_compare() {
+        let (code, mut stack) = setup(small_cfg());
+        call1(&mut stack, &code, 4, 1, true);
+        call1(&mut stack, &code, 4, 2, false);
+        assert_eq!(stack.metrics().checks_executed, 1);
+        assert_eq!(stack.metrics().checks_elided, 1);
+    }
+
+    #[test]
+    fn reset_clears_state_for_reuse() {
+        let (code, mut stack) = setup(small_cfg());
+        call1(&mut stack, &code, 4, 1, true);
+        let _k = stack.capture();
+        stack.reset();
+        assert_eq!(stack.fp(), 0);
+        assert_eq!(stack.segment_base(), 0);
+        assert_eq!(stack.stats().chain_records, 0);
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+    }
+
+    #[test]
+    fn stats_reflect_usage() {
+        let (code, mut stack) = setup(small_cfg());
+        assert_eq!(stack.stats().current_used_slots, 0);
+        call1(&mut stack, &code, 4, 1, true);
+        call1(&mut stack, &code, 4, 2, true);
+        let st = stack.stats();
+        assert_eq!(st.current_used_slots, 8);
+        assert_eq!(st.current_free_slots, 256 - 32 - 8);
+        let _k = stack.capture();
+        let st = stack.stats();
+        assert_eq!(st.chain_records, 1);
+        assert_eq!(st.chain_slots, 8);
+        assert_eq!(st.current_used_slots, 0);
+    }
+
+    #[test]
+    fn segments_are_pooled_after_reinstatement_replacement() {
+        let cfg = Config::builder()
+            .segment_slots(128)
+            .frame_bound(16)
+            .copy_bound(64)
+            .pool_segments(2)
+            .build()
+            .unwrap();
+        let (code, mut stack) = setup(cfg);
+        // Force a couple of overflows, then unwind everything so old
+        // buffers become unshared and poolable on subsequent replacement.
+        for i in 0..40 {
+            call1(&mut stack, &code, 8, i, true);
+        }
+        while stack.ret().unwrap() != ReturnAddress::Exit {}
+        assert!(stack.metrics().overflows >= 1);
+        // Unwinding through underflow reinstated old segments; ensure the
+        // system is still consistent and reusable.
+        call1(&mut stack, &code, 8, 5, true);
+        assert_eq!(stack.get(1), TestSlot::Int(5));
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::addr::TestCode;
+    use crate::sim;
+    use crate::slot::TestSlot;
+
+    /// The §4 rule ablated: every tail-position capture chains an empty
+    /// record, so the looper grows without bound — exactly the failure the
+    /// paper describes.
+    #[test]
+    fn without_the_tail_rule_the_looper_chain_grows() {
+        let code = Rc::new(TestCode::new());
+        let cfg = Config::builder()
+            .segment_slots(512)
+            .frame_bound(16)
+            .disable_tail_capture_rule()
+            .build()
+            .unwrap();
+        let mut stack = SegmentedStack::<TestSlot>::new(cfg, code.clone()).unwrap();
+        let grown = sim::looper_workload(&mut stack, &code, 500, 4);
+        assert!(grown >= 500, "chain stayed at {grown}; ablation should grow it");
+        // The machine still works: returning unwinds through all the empty
+        // records to the real segment and out to the exit.
+        assert_eq!(sim::unwind_all(&mut stack), 2);
+    }
+
+    #[test]
+    fn ablated_continuations_still_reinstate_correctly() {
+        let code = Rc::new(TestCode::new());
+        let cfg = Config::builder()
+            .segment_slots(512)
+            .frame_bound(16)
+            .disable_tail_capture_rule()
+            .build()
+            .unwrap();
+        let mut stack = SegmentedStack::<TestSlot>::new(cfg, code.clone()).unwrap();
+        let ras = sim::push_frames(&mut stack, &code, 5, 4);
+        let k1 = stack.capture();
+        let k2 = stack.capture(); // empty-segment capture: chains a record
+        assert!(!k1.ptr_eq(&k2), "ablation mints a fresh record");
+        assert_eq!(stack.reinstate(&k2).unwrap(), ReturnAddress::Code(ras[4]));
+        assert_eq!(sim::unwind_all(&mut stack), 5);
+        assert_eq!(stack.reinstate(&k1).unwrap(), ReturnAddress::Code(ras[4]));
+        assert_eq!(sim::unwind_all(&mut stack), 5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Synthetic call-machine helpers.
+//!
+//! These drive any [`ControlStack`] through call/return/capture/reinstate
+//! protocols without a full language implementation on top — the control
+//! analog of a workload generator. They are used by this crate's tests, by
+//! the baseline strategies' tests (which must behave identically), and by
+//! the micro-benchmarks for experiments E2–E7.
+
+use crate::addr::{CodeAddr, ReturnAddress, TestCode};
+use crate::record::Continuation;
+use crate::slot::TestSlot;
+use crate::traits::ControlStack;
+
+/// Pushes `depth` nested frames of `d` slots each; frame `i` receives the
+/// single argument `i`. Returns the return addresses in call order.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_core::{sim, Config, ControlStack, SegmentedStack, TestCode, TestSlot};
+/// use std::rc::Rc;
+/// let code = Rc::new(TestCode::new());
+/// let mut stack = SegmentedStack::<TestSlot>::new(Config::default(), code.clone())?;
+/// let ras = sim::push_frames(&mut stack, &code, 10, 4);
+/// assert_eq!(ras.len(), 10);
+/// assert_eq!(sim::unwind_all(&mut stack), 11); // 10 frames + the exit return
+/// # Ok::<(), segstack_core::StackError>(())
+/// ```
+pub fn push_frames(
+    stack: &mut dyn ControlStack<TestSlot>,
+    code: &TestCode,
+    depth: usize,
+    d: usize,
+) -> Vec<CodeAddr> {
+    let mut ras = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let ra = code.ret_point(d);
+        stack.set(d + 1, TestSlot::Int(i as i64));
+        stack
+            .call(d, ra, 1, true)
+            .expect("synthetic workload exceeded a configured budget");
+        ras.push(ra);
+    }
+    ras
+}
+
+/// Returns until the exit routine is reached; yields the number of returns
+/// performed (frames popped plus the final exit return).
+pub fn unwind_all(stack: &mut dyn ControlStack<TestSlot>) -> usize {
+    let mut n = 0;
+    loop {
+        n += 1;
+        match stack.ret().expect("synthetic unwind exceeded a configured budget") {
+            ReturnAddress::Exit => return n,
+            ReturnAddress::Code(_) => {}
+            ReturnAddress::Underflow => unreachable!("underflow is handled inside ret"),
+        }
+    }
+}
+
+/// Pushes `depth` frames then captures the continuation at that depth,
+/// leaving the stack in the post-capture state.
+pub fn capture_at_depth(
+    stack: &mut dyn ControlStack<TestSlot>,
+    code: &TestCode,
+    depth: usize,
+    d: usize,
+) -> Continuation<TestSlot> {
+    push_frames(stack, code, depth, d);
+    stack.capture()
+}
+
+/// A call/return-intensive workload: `rounds` cycles of pushing `depth`
+/// frames and popping them back (E1's micro analog). Returns total
+/// call-interface operations performed.
+pub fn call_return_workload(
+    stack: &mut dyn ControlStack<TestSlot>,
+    code: &TestCode,
+    rounds: usize,
+    depth: usize,
+    d: usize,
+) -> u64 {
+    let before = stack.metrics().call_interface_ops();
+    // Reuse the same return points across rounds, as compiled code would.
+    let ras: Vec<CodeAddr> = (0..depth).map(|_| code.ret_point(d)).collect();
+    for _ in 0..rounds {
+        for (i, &ra) in ras.iter().enumerate() {
+            stack.set(d + 1, TestSlot::Int(i as i64));
+            stack.call(d, ra, 1, true).expect("workload exceeded a configured budget");
+        }
+        for _ in 0..depth {
+            let ra = stack.ret().expect("workload exceeded a configured budget");
+            debug_assert!(ra.is_code());
+        }
+    }
+    stack.metrics().call_interface_ops() - before
+}
+
+/// A tail-call loop workload: one frame, `iters` tail calls shuffling two
+/// staged arguments (the shape of a tight Scheme loop).
+pub fn tail_loop_workload(
+    stack: &mut dyn ControlStack<TestSlot>,
+    code: &TestCode,
+    iters: usize,
+    d: usize,
+) {
+    let ra = code.ret_point(d);
+    stack.set(d + 1, TestSlot::Int(0));
+    stack.call(d, ra, 1, true).expect("workload exceeded a configured budget");
+    for i in 0..iters {
+        stack.set(3, TestSlot::Int(i as i64));
+        stack.tail_call(3, 1);
+    }
+    let _ = stack.ret().expect("workload exceeded a configured budget");
+}
+
+/// The paper's `looper` (§4): repeatedly capture a continuation in a
+/// tail-recursive loop. A correct implementation keeps the continuation
+/// chain from growing. Returns the maximum chain length observed.
+pub fn looper_workload(
+    stack: &mut dyn ControlStack<TestSlot>,
+    code: &TestCode,
+    iters: usize,
+    d: usize,
+) -> usize {
+    let ra = code.ret_point(d);
+    stack.set(d + 1, TestSlot::Int(0));
+    stack.call(d, ra, 1, true).expect("workload exceeded a configured budget");
+    let mut max_chain = 0;
+    for i in 0..iters {
+        let _k = stack.capture();
+        max_chain = max_chain.max(stack.stats().chain_records);
+        stack.set(3, TestSlot::Int(i as i64));
+        stack.tail_call(3, 1);
+    }
+    max_chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::segmented::SegmentedStack;
+    use std::rc::Rc;
+
+    fn setup() -> (Rc<TestCode>, SegmentedStack<TestSlot>) {
+        let code = Rc::new(TestCode::new());
+        let cfg = Config::builder()
+            .segment_slots(512)
+            .frame_bound(16)
+            .copy_bound(32)
+            .build()
+            .unwrap();
+        let stack = SegmentedStack::new(cfg, code.clone()).unwrap();
+        (code, stack)
+    }
+
+    #[test]
+    fn push_and_unwind_balance() {
+        let (code, mut stack) = setup();
+        push_frames(&mut stack, &code, 20, 4);
+        assert_eq!(unwind_all(&mut stack), 21);
+        assert_eq!(stack.metrics().calls, 20);
+    }
+
+    #[test]
+    fn capture_at_depth_retains_whole_stack() {
+        let (code, mut stack) = setup();
+        let k = capture_at_depth(&mut stack, &code, 25, 4);
+        assert_eq!(k.retained_slots(), 100);
+    }
+
+    #[test]
+    fn call_return_workload_counts_ops() {
+        let (code, mut stack) = setup();
+        let ops = call_return_workload(&mut stack, &code, 3, 10, 4);
+        assert_eq!(ops, 3 * (10 + 10));
+        assert_eq!(unwind_all(&mut stack), 1, "workload leaves the stack empty");
+    }
+
+    #[test]
+    fn tail_loop_stays_in_one_frame() {
+        let (code, mut stack) = setup();
+        tail_loop_workload(&mut stack, &code, 1000, 4);
+        assert_eq!(stack.metrics().tail_calls, 1000);
+        assert_eq!(stack.metrics().overflows, 0, "tail calls must not grow the stack");
+        assert_eq!(unwind_all(&mut stack), 1);
+    }
+
+    #[test]
+    fn looper_does_not_grow_the_chain() {
+        let (code, mut stack) = setup();
+        let max_chain = looper_workload(&mut stack, &code, 10_000, 4);
+        assert_eq!(max_chain, 1, "the looper rule keeps exactly one sealed record");
+        assert_eq!(stack.metrics().overflows, 0);
+    }
+}

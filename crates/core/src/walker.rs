@@ -1,0 +1,284 @@
+//! Stack walking via code-stream frame-size words (paper §3, Figure 4).
+//!
+//! "The return address field of a continuation stack record points to an
+//! instruction in the code stream, which is preceded by a data word
+//! containing the frame size. This frame size is used to find the base of
+//! the top frame, where its return address is stored. This return address is
+//! used to find the frame size of the next frame down, ..." — Figure 4.
+//!
+//! The walker underlies continuation splitting (Figure 7) and is exactly the
+//! mechanism exception handlers and debuggers would use.
+
+use crate::addr::{CodeAddr, FrameSizeTable, ReturnAddress};
+use crate::slot::StackSlot;
+
+/// One frame discovered by a stack walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkedFrame {
+    /// Absolute index of the frame base within the buffer (the slot holding
+    /// the frame's return address — or the underflow/exit handler for the
+    /// frame at a segment base).
+    pub base: usize,
+    /// Absolute index one past the frame's extent: the base of the frame
+    /// above, or the segment's occupied top for the topmost frame.
+    pub top: usize,
+    /// The frame's *own* return address — the address execution jumps to
+    /// when this frame returns, which points into the frame below's code.
+    pub ra: CodeAddr,
+}
+
+impl WalkedFrame {
+    /// The frame's extent in slots.
+    pub fn size(&self) -> usize {
+        self.top - self.base
+    }
+}
+
+/// Iterator walking a stack segment from its topmost frame down to its base.
+///
+/// Created by [`walk`]. Yields [`WalkedFrame`]s top-down. After exhaustion,
+/// [`FrameWalker::reached_base`] reports whether the walk ended cleanly on
+/// the segment base (an underflow/exit word exactly at `base`), which is an
+/// invariant of well-formed segments.
+#[derive(Debug)]
+pub struct FrameWalker<'a, S, T: ?Sized> {
+    buf: &'a [S],
+    base: usize,
+    top: usize,
+    ra: Option<CodeAddr>,
+    code: &'a T,
+    clean: bool,
+}
+
+/// Starts a walk over the occupied segment `buf[base..top]` whose topmost
+/// frame has return address `top_ra` (the stack record's return-address
+/// field).
+///
+/// # Examples
+///
+/// See the unit tests below and [`crate::SegmentedStack`]'s splitting logic.
+pub fn walk<'a, S: StackSlot, T: FrameSizeTable + ?Sized>(
+    buf: &'a [S],
+    base: usize,
+    top: usize,
+    top_ra: CodeAddr,
+    code: &'a T,
+) -> FrameWalker<'a, S, T> {
+    FrameWalker { buf, base, top, ra: Some(top_ra), code, clean: false }
+}
+
+impl<S: StackSlot, T: FrameSizeTable + ?Sized> Iterator for FrameWalker<'_, S, T> {
+    type Item = WalkedFrame;
+
+    fn next(&mut self) -> Option<WalkedFrame> {
+        let ra = self.ra?;
+        let d = self.code.displacement(ra);
+        assert!(
+            d <= self.top - self.base,
+            "stack walk underran the segment base: displacement {d} at {ra} with only {} slots",
+            self.top - self.base
+        );
+        let fbase = self.top - d;
+        let frame = WalkedFrame { base: fbase, top: self.top, ra };
+        self.top = fbase;
+        self.ra = match self.buf[fbase].as_return_address() {
+            Some(ReturnAddress::Code(next)) => {
+                assert!(fbase > self.base, "code return address at the segment base");
+                Some(next)
+            }
+            Some(ReturnAddress::Underflow) | Some(ReturnAddress::Exit) => {
+                self.clean = fbase == self.base;
+                None
+            }
+            None => panic!("frame base slot at {fbase} does not hold a return address"),
+        };
+        Some(frame)
+    }
+}
+
+impl<S, T: ?Sized> FrameWalker<'_, S, T> {
+    /// After the iterator is exhausted: did the walk end exactly on the
+    /// segment base with an underflow/exit word there?
+    pub fn reached_base(&self) -> bool {
+        self.clean
+    }
+}
+
+/// Collects the frames of the occupied segment `buf[base..top]`, top-down,
+/// asserting the segment is well formed.
+pub fn frames<S: StackSlot, T: FrameSizeTable + ?Sized>(
+    buf: &[S],
+    base: usize,
+    top: usize,
+    top_ra: CodeAddr,
+    code: &T,
+) -> Vec<WalkedFrame> {
+    let mut w = walk(buf, base, top, top_ra, code);
+    let out: Vec<_> = w.by_ref().collect();
+    assert!(w.reached_base(), "segment walk did not terminate at the segment base");
+    out
+}
+
+/// Finds the split point for reinstating an over-large segment (Figure 7).
+///
+/// Returns the absolute index `s`, strictly between `base` and `top`, such
+/// that the suffix `[s, top)` is the largest run of whole frames not
+/// exceeding `bound` slots — "it is more efficient to split off as much as
+/// possible without exceeding the bound" (§4). If even the single topmost
+/// frame exceeds the bound, its base is returned anyway ("it would be
+/// sufficient to split off a single frame"); the frame bound, not the copy
+/// bound, then governs the worst case. Returns `None` when the segment
+/// holds a single frame (nothing to split).
+pub fn split_point<S: StackSlot, T: FrameSizeTable + ?Sized>(
+    buf: &[S],
+    base: usize,
+    top: usize,
+    top_ra: CodeAddr,
+    code: &T,
+    bound: usize,
+) -> Option<usize> {
+    let mut chosen: Option<usize> = None;
+    for frame in walk(buf, base, top, top_ra, code) {
+        let suffix = top - frame.base;
+        if chosen.is_none() || suffix <= bound {
+            chosen = Some(frame.base);
+        }
+        if suffix >= bound {
+            break;
+        }
+    }
+    chosen.filter(|&s| s > base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::TestCode;
+    use crate::slot::TestSlot;
+
+    /// Builds a synthetic occupied segment of `sizes.len()` frames (bottom
+    /// to top) with the given displacements, returning (buffer, top, top_ra).
+    fn build(code: &TestCode, sizes: &[usize]) -> (Vec<TestSlot>, usize, CodeAddr) {
+        let total: usize = sizes.iter().sum();
+        let mut buf = vec![TestSlot::Empty; total + 8];
+        let mut fbase = 0;
+        buf[0] = TestSlot::Ra(ReturnAddress::Exit);
+        let mut prev_ra: Option<CodeAddr> = None;
+        for &d in sizes {
+            // The frame at `fbase` has size d; its caller stored its return
+            // address at fbase, and the next frame starts at fbase + d.
+            if let Some(ra) = prev_ra {
+                buf[fbase] = TestSlot::Ra(ReturnAddress::Code(ra));
+            }
+            let ra = code.ret_point(d);
+            prev_ra = Some(ra);
+            fbase += d;
+        }
+        (buf, fbase, prev_ra.unwrap())
+    }
+
+    #[test]
+    fn walks_a_three_frame_segment() {
+        let code = TestCode::new();
+        let (buf, top, ra) = build(&code, &[4, 6, 3]);
+        let fs = frames(&buf, 0, top, ra, &code);
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[0], WalkedFrame { base: 10, top: 13, ra });
+        assert_eq!(fs[0].size(), 3);
+        assert_eq!(fs[1].base, 4);
+        assert_eq!(fs[1].size(), 6);
+        assert_eq!(fs[2].base, 0);
+        assert_eq!(fs[2].size(), 4);
+    }
+
+    #[test]
+    fn walks_a_single_frame_segment() {
+        let code = TestCode::new();
+        let (buf, top, ra) = build(&code, &[5]);
+        let fs = frames(&buf, 0, top, ra, &code);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0], WalkedFrame { base: 0, top: 5, ra });
+    }
+
+    #[test]
+    fn reached_base_is_false_before_exhaustion() {
+        let code = TestCode::new();
+        let (buf, top, ra) = build(&code, &[4, 6]);
+        let mut w = walk(buf.as_slice(), 0, top, ra, &code);
+        assert!(!w.reached_base());
+        w.next();
+        assert!(!w.reached_base());
+        w.next();
+        assert!(w.reached_base());
+        assert!(w.next().is_none());
+    }
+
+    #[test]
+    fn walk_respects_nonzero_base() {
+        let code = TestCode::new();
+        let (mut buf, top, ra) = build(&code, &[4, 6, 3]);
+        // Shift the segment up by 5 slots to a nonzero base.
+        let shift = 5;
+        let mut shifted = vec![TestSlot::Empty; buf.len() + shift];
+        for (i, s) in buf.drain(..).enumerate() {
+            shifted[i + shift] = s;
+        }
+        shifted[shift] = TestSlot::Ra(ReturnAddress::Underflow);
+        let fs = frames(&shifted, shift, top + shift, ra, &code);
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[2].base, shift);
+    }
+
+    #[test]
+    fn split_point_takes_largest_suffix_within_bound() {
+        let code = TestCode::new();
+        let (buf, top, ra) = build(&code, &[4, 6, 3, 2]);
+        // Suffix sizes from the top: 2, 5, 11, 15.
+        assert_eq!(split_point(&buf, 0, top, ra, &code, 5), Some(top - 5));
+        assert_eq!(split_point(&buf, 0, top, ra, &code, 10), Some(top - 5));
+        assert_eq!(split_point(&buf, 0, top, ra, &code, 11), Some(top - 11));
+        assert_eq!(split_point(&buf, 0, top, ra, &code, 2), Some(top - 2));
+    }
+
+    #[test]
+    fn split_point_with_oversized_top_frame_returns_its_base() {
+        let code = TestCode::new();
+        let (buf, top, ra) = build(&code, &[4, 9]);
+        // The top frame (9 slots) exceeds the bound (3); split it off alone.
+        assert_eq!(split_point(&buf, 0, top, ra, &code, 3), Some(top - 9));
+    }
+
+    #[test]
+    fn split_point_on_single_frame_is_none() {
+        let code = TestCode::new();
+        let (buf, top, ra) = build(&code, &[7]);
+        assert_eq!(split_point(&buf, 0, top, ra, &code, 3), None);
+    }
+
+    #[test]
+    fn split_point_never_returns_the_base() {
+        let code = TestCode::new();
+        let (buf, top, ra) = build(&code, &[4, 6]);
+        // Bound large enough for both frames: the only candidate below the
+        // bound is the segment base itself, which is not a valid split.
+        assert_eq!(split_point(&buf, 0, top, ra, &code, 100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold a return address")]
+    fn walk_panics_on_corrupt_frame_base() {
+        let code = TestCode::new();
+        let (mut buf, top, ra) = build(&code, &[4, 6]);
+        buf[4] = TestSlot::Int(42);
+        frames(&buf, 0, top, ra, &code);
+    }
+
+    #[test]
+    #[should_panic(expected = "underran")]
+    fn walk_panics_when_displacement_exceeds_segment() {
+        let code = TestCode::new();
+        let ra = code.ret_point(50);
+        let buf = vec![TestSlot::Empty; 10];
+        frames(&buf, 0, 10, ra, &code);
+    }
+}

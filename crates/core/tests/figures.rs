@@ -1,0 +1,209 @@
+//! The paper's figures, replayed step by step against the real
+//! implementation.
+//!
+//! Each test narrates one of the paper's mechanism figures (3–8) and
+//! asserts the machine state the figure depicts. They double as an
+//! executable explanation of the algorithm.
+
+use std::rc::Rc;
+
+use segstack_core::{
+    sim, CodeAddr, Config, ControlStack, ReturnAddress, SegmentedStack, TestCode, TestSlot,
+};
+
+fn cfg(segment: usize, frame: usize, copy: usize) -> Config {
+    Config::builder()
+        .segment_slots(segment)
+        .frame_bound(frame)
+        .copy_bound(copy)
+        .build()
+        .unwrap()
+}
+
+fn machine(c: Config) -> (Rc<TestCode>, SegmentedStack<TestSlot>) {
+    let code = Rc::new(TestCode::new());
+    let stack = SegmentedStack::new(c, code.clone()).unwrap();
+    (code, stack)
+}
+
+/// Figure 3: "the segmented stack model is a simple generalization of the
+/// traditional stack model" — ordinary calls behave exactly like a plain
+/// stack: the frame pointer moves by compile-time displacements and no
+/// heap traffic occurs.
+#[test]
+fn figure_3_segments_behave_like_a_traditional_stack() {
+    let (code, mut stack) = machine(cfg(1024, 16, 32));
+    assert_eq!(stack.fp(), 0, "initial frame at the segment base");
+
+    let ra1 = code.ret_point(5);
+    stack.call(5, ra1, 0, true).unwrap();
+    assert_eq!(stack.fp(), 5, "fp advanced by the displacement");
+
+    let ra2 = code.ret_point(7);
+    stack.call(7, ra2, 0, true).unwrap();
+    assert_eq!(stack.fp(), 12, "frames are physically adjacent");
+
+    assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra2));
+    assert_eq!(stack.fp(), 5, "return adjusted fp back by the displacement");
+    assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra1));
+    assert_eq!(stack.fp(), 0);
+
+    let m = stack.metrics();
+    assert_eq!(m.heap_frames_allocated, 0);
+    assert_eq!(m.slots_copied, 0);
+    assert_eq!(m.segments_allocated, 1, "just the initial segment");
+}
+
+/// Figure 4: walking backwards through a stack segment using only the
+/// return addresses and the frame-size words in the code stream.
+#[test]
+fn figure_4_walking_backwards_through_a_segment() {
+    let (code, mut stack) = machine(cfg(1024, 16, 32));
+    // Three frames with distinct displacements.
+    let sizes = [4usize, 6, 9];
+    let mut ras = Vec::new();
+    for &d in &sizes {
+        let ra = code.ret_point(d);
+        stack.call(d, ra, 0, true).unwrap();
+        ras.push(ra);
+    }
+    // Seal the segment so it has a stack record with the topmost frame's
+    // return address, then walk it through the public backtrace API.
+    let walk = stack.backtrace(16);
+    // The walk reports, innermost first, each frame's return address.
+    assert_eq!(walk, ras.iter().rev().copied().collect::<Vec<CodeAddr>>());
+}
+
+/// Figure 5: "capturing a continuation is a constant-time operation ...
+/// The current stack segment is divided into two segments at the top
+/// frame."
+#[test]
+fn figure_5_capture_splits_the_segment_in_place() {
+    let (code, mut stack) = machine(cfg(1024, 16, 32));
+    sim::push_frames(&mut stack, &code, 6, 8);
+    let fp_before = stack.fp();
+    assert_eq!(fp_before, 48);
+
+    let copied_before = stack.metrics().slots_copied;
+    let k = stack.capture();
+
+    // Bottom segment: the captured continuation holds everything below the
+    // top frame.
+    assert_eq!(k.retained_slots(), 48, "six 8-slot frames sealed");
+    assert_eq!(k.chain_len(), 1);
+    // Top segment: the live frame became the base of the current segment.
+    assert_eq!(stack.segment_base(), fp_before);
+    assert_eq!(stack.fp(), fp_before, "the live frame did not move");
+    // The in-frame return address was replaced by the underflow handler.
+    assert_eq!(stack.get(0), TestSlot::Ra(ReturnAddress::Underflow));
+    // And — the headline — nothing was copied.
+    assert_eq!(stack.metrics().slots_copied, copied_before);
+    assert_eq!(stack.metrics().captures, 1);
+}
+
+/// Figure 6: "when a continuation is reinstated, the contents of the stack
+/// segment of the continuation is copied into the current stack segment."
+#[test]
+fn figure_6_reinstatement_copies_into_the_current_segment() {
+    let (code, mut stack) = machine(cfg(1024, 16, 128));
+    let ras = sim::push_frames(&mut stack, &code, 6, 8);
+    let k = stack.capture();
+
+    // Leave the captured context entirely (unwind to the exit).
+    assert_eq!(sim::unwind_all(&mut stack), 7);
+
+    // Reinstate: the saved segment is copied and execution resumes at the
+    // continuation's return address with fp on its topmost frame.
+    let before = stack.metrics().slots_copied;
+    let resumed = stack.reinstate(&k).unwrap();
+    assert_eq!(resumed, ReturnAddress::Code(ras[5]));
+    assert_eq!(stack.metrics().slots_copied - before, 48, "the whole (small) segment");
+    assert_eq!(stack.get(1), TestSlot::Int(4), "topmost sealed frame's argument");
+
+    // The copy is private: unwinding it does not disturb the continuation,
+    // which can be reinstated again.
+    assert_eq!(sim::unwind_all(&mut stack), 6);
+    assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Code(ras[5]));
+    assert_eq!(sim::unwind_all(&mut stack), 6);
+}
+
+/// Figure 7: "large stack segments must be split before being reinstated.
+/// A splitting point is found by walking the stack ... The return address
+/// at the splitting point is stored in a new stack record and the address
+/// of an underflow handler is stored in its place."
+#[test]
+fn figure_7_oversized_segments_split_at_a_frame_boundary() {
+    let (code, mut stack) = machine(cfg(4096, 16, 40));
+    sim::push_frames(&mut stack, &code, 50, 8); // 400 slots, bound 40
+    let k = stack.capture();
+    assert_eq!(k.retained_slots(), 400);
+    assert_eq!(k.chain_len(), 1, "one record before the first reinstatement");
+
+    let before = stack.metrics().slots_copied;
+    stack.reinstate(&k).unwrap();
+
+    // Only the top portion (five 8-slot frames = 40 slots, the copy bound)
+    // was copied; the rest became a new record linked below.
+    assert_eq!(stack.metrics().slots_copied - before, 40);
+    assert_eq!(stack.metrics().splits, 1);
+    assert_eq!(k.chain_len(), 2, "the record was restructured in place");
+    assert_eq!(k.retained_slots(), 400, "no slots were lost in the split");
+
+    // The split is semantically neutral: a second reinstatement (of the
+    // already-split record) behaves identically.
+    let before = stack.metrics().slots_copied;
+    stack.reinstate(&k).unwrap();
+    assert_eq!(stack.metrics().slots_copied - before, 40);
+    assert_eq!(stack.metrics().splits, 1, "split happens at most once per boundary");
+}
+
+/// Figure 8: "the end-of-stack pointer always points to a region before
+/// the actual end of the stack. This region must contain enough space for
+/// two call frames."
+#[test]
+fn figure_8_esp_sits_two_frames_before_the_end() {
+    let (code, mut stack) = machine(cfg(256, 16, 32));
+    assert_eq!(stack.esp(), 256 - 2 * 16);
+
+    // A checked call that stays at or below esp proceeds in place…
+    while stack.fp() + 8 <= stack.esp() {
+        let ra = code.ret_point(8);
+        stack.call(8, ra, 0, true).unwrap();
+    }
+    assert_eq!(stack.metrics().overflows, 0);
+
+    // …and an unchecked call can still land in the reserve safely: the
+    // two-frame region is exactly what lets leaf calls skip the check.
+    let ra = code.ret_point(8);
+    stack.call(8, ra, 0, false).unwrap();
+    assert!(stack.fp() > stack.esp(), "leaf frame lives in the reserve");
+    assert_eq!(stack.metrics().overflows, 0);
+    assert_eq!(stack.metrics().checks_elided, 1);
+    stack.ret().unwrap();
+
+    // The next *checked* call from the boundary triggers overflow: an
+    // implicit capture plus a fresh segment (§5).
+    let ra = code.ret_point(8);
+    stack.call(8, ra, 0, true).unwrap();
+    assert_eq!(stack.metrics().overflows, 1);
+    assert_eq!(stack.fp(), 0, "execution continued at the new segment's base");
+    assert_eq!(stack.stats().chain_records, 1, "the old segment was sealed");
+}
+
+/// §4's tail-capture rule, the `looper`: "if the current stack segment is
+/// empty when a continuation is captured, no changes are made to the
+/// current stack record and the link field ... serves as the new
+/// continuation."
+#[test]
+fn section_4_empty_segment_capture_reuses_the_link() {
+    let (code, mut stack) = machine(cfg(1024, 16, 32));
+    sim::push_frames(&mut stack, &code, 3, 8);
+    let k1 = stack.capture();
+    // fp == base now; each further capture must hand back the same record.
+    for _ in 0..10_000 {
+        let k = stack.capture();
+        assert!(k.ptr_eq(&k1));
+    }
+    assert_eq!(stack.stats().chain_records, 1);
+    assert_eq!(stack.metrics().stack_records_allocated, 1);
+}

@@ -1,0 +1,99 @@
+//! Core-form abstract syntax, the output of the expander.
+//!
+//! After expansion only eight core forms remain: constants, variable
+//! references, assignments, conditionals, lambdas, calls, sequences, and
+//! top-level definitions. All derived forms (`let`, `cond`, `do`,
+//! quasiquote, internal defines, …) have been rewritten into these.
+
+use std::rc::Rc;
+
+use crate::intern::Symbol;
+use crate::value::Value;
+
+/// Identity of a lambda node, used to key assignment analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LambdaId(pub u32);
+
+/// A core-form expression.
+#[derive(Clone, Debug)]
+pub enum Ast {
+    /// A literal datum.
+    Quote(Value),
+    /// A variable reference (lexical or global — resolved later).
+    Var(Symbol),
+    /// `(set! name value)`.
+    Set(Symbol, Box<Ast>),
+    /// `(if test then else)`; a missing else arm is `Quote(Unspecified)`.
+    If(Box<Ast>, Box<Ast>, Box<Ast>),
+    /// A lambda expression.
+    Lambda(Rc<AstLambda>),
+    /// A procedure call.
+    Call(Box<Ast>, Vec<Ast>),
+    /// A sequence; the value is the last expression's.
+    Begin(Vec<Ast>),
+    /// A top-level definition (only valid at top level).
+    Define(Symbol, Box<Ast>),
+}
+
+impl Ast {
+    /// Convenience constructor for unspecified-value constants.
+    pub fn unspecified() -> Ast {
+        Ast::Quote(Value::Unspecified)
+    }
+
+    /// Does this expression (or any subexpression outside nested lambdas)
+    /// contain a call? Used for the leaf-procedure overflow-check elision
+    /// of paper §5.
+    pub fn contains_call(&self) -> bool {
+        match self {
+            Ast::Quote(_) | Ast::Var(_) | Ast::Lambda(_) => false,
+            Ast::Set(_, e) => e.contains_call(),
+            Ast::If(c, t, e) => c.contains_call() || t.contains_call() || e.contains_call(),
+            Ast::Call(_, _) => true,
+            Ast::Begin(es) => es.iter().any(Ast::contains_call),
+            Ast::Define(_, e) => e.contains_call(),
+        }
+    }
+}
+
+/// A lambda node.
+#[derive(Clone, Debug)]
+pub struct AstLambda {
+    /// Unique id (assignment analysis key).
+    pub id: LambdaId,
+    /// Required parameters, in order.
+    pub params: Vec<Symbol>,
+    /// Whether a rest parameter follows (`(lambda (a . rest) …)` or
+    /// `(lambda args …)`); the rest parameter is the last of `params`.
+    pub variadic: bool,
+    /// The body (a single core expression after body expansion).
+    pub body: Ast,
+    /// Name hint from an enclosing `define`/`let`, for diagnostics.
+    pub name: Option<Symbol>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_call_sees_through_structure_but_not_lambdas() {
+        let call = Ast::Call(Box::new(Ast::Var(Symbol::intern("f"))), vec![]);
+        assert!(call.contains_call());
+        let in_if = Ast::If(
+            Box::new(Ast::Quote(Value::Bool(true))),
+            Box::new(call.clone()),
+            Box::new(Ast::unspecified()),
+        );
+        assert!(in_if.contains_call());
+        let lambda = Ast::Lambda(Rc::new(AstLambda {
+            id: LambdaId(0),
+            params: vec![],
+            variadic: false,
+            body: call,
+            name: None,
+        }));
+        assert!(!lambda.contains_call(), "calls inside nested lambdas do not count");
+        assert!(!Ast::Var(Symbol::intern("x")).contains_call());
+    }
+}

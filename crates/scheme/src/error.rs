@@ -1,0 +1,125 @@
+//! Error types for the Scheme system.
+
+use std::error::Error;
+use std::fmt;
+
+use segstack_core::StackError;
+
+/// A position in Scheme source text (1-based line and column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error produced while lexing, reading, compiling or running Scheme
+/// code.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchemeError {
+    /// Lexical error in the source text.
+    Lex {
+        /// Where the offending text begins.
+        pos: SourcePos,
+        /// What went wrong.
+        message: String,
+    },
+    /// Malformed s-expression structure.
+    Parse {
+        /// Where the offending token sits, when known.
+        pos: Option<SourcePos>,
+        /// What went wrong.
+        message: String,
+    },
+    /// Malformed program (bad special form, unbound name at compile time,
+    /// frame too large, etc.).
+    Compile {
+        /// What went wrong.
+        message: String,
+    },
+    /// Runtime error (type errors, arity errors, `(error ...)` calls,
+    /// unbound globals).
+    Runtime {
+        /// What went wrong.
+        message: String,
+    },
+    /// The control stack failed (budget exhaustion, foreign continuation).
+    Stack(StackError),
+}
+
+impl SchemeError {
+    /// Convenience constructor for runtime errors.
+    pub fn runtime(message: impl Into<String>) -> Self {
+        SchemeError::Runtime { message: message.into() }
+    }
+
+    /// Convenience constructor for compile-time errors.
+    pub fn compile(message: impl Into<String>) -> Self {
+        SchemeError::Compile { message: message.into() }
+    }
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            SchemeError::Parse { pos: Some(pos), message } => {
+                write!(f, "parse error at {pos}: {message}")
+            }
+            SchemeError::Parse { pos: None, message } => write!(f, "parse error: {message}"),
+            SchemeError::Compile { message } => write!(f, "compile error: {message}"),
+            SchemeError::Runtime { message } => write!(f, "runtime error: {message}"),
+            SchemeError::Stack(e) => write!(f, "stack error: {e}"),
+        }
+    }
+}
+
+impl Error for SchemeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchemeError::Stack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StackError> for SchemeError {
+    fn from(e: StackError) -> Self {
+        SchemeError::Stack(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SchemeError::Lex { pos: SourcePos { line: 2, col: 5 }, message: "bad".into() };
+        assert_eq!(e.to_string(), "lex error at 2:5: bad");
+        assert_eq!(SchemeError::runtime("oops").to_string(), "runtime error: oops");
+        assert_eq!(SchemeError::compile("nope").to_string(), "compile error: nope");
+        let e = SchemeError::Parse { pos: None, message: "eof".into() };
+        assert_eq!(e.to_string(), "parse error: eof");
+    }
+
+    #[test]
+    fn stack_errors_convert_and_chain() {
+        let e: SchemeError = StackError::FrameTooLarge { requested: 5, bound: 4 }.into();
+        assert!(e.to_string().contains("frame"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_error_type() {
+        fn assert_traits<E: Error + Send + Sync + 'static>() {}
+        assert_traits::<SchemeError>();
+    }
+}

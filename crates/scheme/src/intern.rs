@@ -1,0 +1,106 @@
+//! Symbol interning.
+//!
+//! Scheme symbols are interned so that `eq?` is pointer (here: index)
+//! equality. The interner is thread-local: symbols are plain `u32` indices
+//! and may be freely copied within a thread.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+
+thread_local! {
+    static INTERNER: RefCell<Interner> = RefCell::new(Interner::new());
+}
+
+#[derive(Default)]
+struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner::default()
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), id);
+        id
+    }
+}
+
+/// An interned Scheme symbol.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_scheme::Symbol;
+/// let a = Symbol::intern("lambda");
+/// let b = Symbol::intern("lambda");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "lambda");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Interns `name`, returning its symbol.
+    pub fn intern(name: &str) -> Symbol {
+        INTERNER.with(|i| Symbol(i.borrow_mut().intern(name)))
+    }
+
+    /// The symbol's print name.
+    pub fn as_str(self) -> String {
+        INTERNER.with(|i| i.borrow().names[self.0 as usize].clone())
+    }
+
+    /// The raw interner index (stable within a thread).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        INTERNER.with(|i| f.write_str(&i.borrow().names[self.0 as usize]))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        let c = Symbol::intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn round_trips_names() {
+        let s = Symbol::intern("call-with-current-continuation");
+        assert_eq!(s.as_str(), "call-with-current-continuation");
+        assert_eq!(s.to_string(), "call-with-current-continuation");
+        assert_eq!(format!("{s:?}"), "'call-with-current-continuation");
+    }
+
+    #[test]
+    fn distinguishes_case() {
+        assert_ne!(Symbol::intern("Foo"), Symbol::intern("foo"));
+    }
+}

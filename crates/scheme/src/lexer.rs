@@ -1,0 +1,493 @@
+//! Lexical analysis of Scheme source text (R3RS-style).
+
+use std::fmt;
+
+use crate::error::{SchemeError, SourcePos};
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token proper.
+    pub kind: TokenKind,
+    /// Position of the token's first character.
+    pub pos: SourcePos,
+}
+
+/// The kinds of Scheme tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `#(` — vector literal opener.
+    VecOpen,
+    /// `'`
+    Quote,
+    /// `` ` ``
+    Quasiquote,
+    /// `,`
+    Unquote,
+    /// `,@`
+    UnquoteSplicing,
+    /// `.` in dotted pairs.
+    Dot,
+    /// `#t` / `#f`
+    Bool(bool),
+    /// Exact integer literal.
+    Fixnum(i64),
+    /// Inexact real literal.
+    Flonum(f64),
+    /// Character literal (`#\a`, `#\space`, `#\newline`).
+    Char(char),
+    /// String literal (escapes resolved).
+    Str(String),
+    /// Identifier / symbol.
+    Ident(String),
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::VecOpen => write!(f, "#("),
+            TokenKind::Quote => write!(f, "'"),
+            TokenKind::Quasiquote => write!(f, "`"),
+            TokenKind::Unquote => write!(f, ","),
+            TokenKind::UnquoteSplicing => write!(f, ",@"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Bool(true) => write!(f, "#t"),
+            TokenKind::Bool(false) => write!(f, "#f"),
+            TokenKind::Fixnum(n) => write!(f, "{n}"),
+            TokenKind::Flonum(x) => write!(f, "{x}"),
+            TokenKind::Char(c) => write!(f, "#\\{c}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Tokenizes Scheme source text.
+///
+/// # Errors
+///
+/// Returns [`SchemeError::Lex`] on malformed input (unterminated strings,
+/// bad character literals, stray `#` syntax).
+///
+/// # Examples
+///
+/// ```
+/// use segstack_scheme::lexer::{tokenize, TokenKind};
+/// let toks = tokenize("(+ 1 2)")?;
+/// assert_eq!(toks.len(), 5);
+/// assert_eq!(toks[1].kind, TokenKind::Ident("+".into()));
+/// # Ok::<(), segstack_scheme::SchemeError>(())
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SchemeError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().collect(), i: 0, line: 1, col: 1, src }
+    }
+
+    fn pos(&self) -> SourcePos {
+        SourcePos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SchemeError {
+        SchemeError::Lex { pos: self.pos(), message: msg.into() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, SchemeError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_atmosphere();
+            let pos = self.pos();
+            if self.peek().is_none() {
+                break;
+            }
+            let kind = self.next_token()?;
+            out.push(Token { kind, pos });
+        }
+        let _ = self.src;
+        Ok(out)
+    }
+
+    /// Lexes one token; the caller has skipped atmosphere and checked for
+    /// end of input.
+    fn next_token(&mut self) -> Result<TokenKind, SchemeError> {
+        let c = self.peek().expect("caller checked for input");
+        match c {
+            '(' | '[' => {
+                self.bump();
+                Ok(TokenKind::LParen)
+            }
+            ')' | ']' => {
+                self.bump();
+                Ok(TokenKind::RParen)
+            }
+            '\'' => {
+                self.bump();
+                Ok(TokenKind::Quote)
+            }
+            '`' => {
+                self.bump();
+                Ok(TokenKind::Quasiquote)
+            }
+            ',' => {
+                self.bump();
+                if self.peek() == Some('@') {
+                    self.bump();
+                    Ok(TokenKind::UnquoteSplicing)
+                } else {
+                    Ok(TokenKind::Unquote)
+                }
+            }
+            '"' => self.string(),
+            '#' => self.hash(),
+            _ => self.atom(),
+        }
+    }
+
+    /// Consumes a (nestable) `#| … |#` block comment; the caller has
+    /// consumed the `#` and peeked the `|`.
+    fn block_comment(&mut self) -> Result<(), SchemeError> {
+        self.bump(); // '|'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match self.bump() {
+                None => return Err(self.err("unterminated block comment")),
+                Some('|') if self.peek() == Some('#') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some('#') if self.peek() == Some('|') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips whitespace, `;` line comments and `#| … |#` block comments.
+    /// Malformed (unterminated) block comments are left for the token path
+    /// to report.
+    fn skip_atmosphere(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some(';') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('#') if self.chars.get(self.i + 1) == Some(&'|') => {
+                    let saved = (self.i, self.line, self.col);
+                    self.bump(); // '#'
+                    if self.block_comment().is_err() {
+                        // Unterminated: rewind so the token path reports it
+                        // at the comment's opening position.
+                        (self.i, self.line, self.col) = saved;
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<TokenKind, SchemeError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some('"') => return Ok(TokenKind::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some(c) => return Err(self.err(format!("unknown string escape \\{c}"))),
+                    None => return Err(self.err("unterminated string escape")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn hash(&mut self) -> Result<TokenKind, SchemeError> {
+        self.bump(); // '#'
+        match self.peek() {
+            Some('t') => {
+                self.bump();
+                Ok(TokenKind::Bool(true))
+            }
+            Some('f') => {
+                self.bump();
+                Ok(TokenKind::Bool(false))
+            }
+            Some('(') => {
+                self.bump();
+                Ok(TokenKind::VecOpen)
+            }
+            Some('|') => Err(self.err("unterminated block comment")),
+            Some('\\') => {
+                self.bump();
+                let mut name = String::new();
+                // First character is taken literally (it may be a delimiter).
+                match self.bump() {
+                    Some(c) => name.push(c),
+                    None => return Err(self.err("unterminated character literal")),
+                }
+                while let Some(c) = self.peek() {
+                    if c.is_alphanumeric() || c == '-' {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                match name.as_str() {
+                    "space" => Ok(TokenKind::Char(' ')),
+                    "newline" => Ok(TokenKind::Char('\n')),
+                    "tab" => Ok(TokenKind::Char('\t')),
+                    _ if name.chars().count() == 1 => {
+                        Ok(TokenKind::Char(name.chars().next().unwrap()))
+                    }
+                    _ => Err(self.err(format!("unknown character literal #\\{name}"))),
+                }
+            }
+            Some(c) => Err(self.err(format!("unknown # syntax #{c}"))),
+            None => Err(self.err("dangling #")),
+        }
+    }
+
+    fn is_delimiter(c: char) -> bool {
+        c.is_whitespace() || matches!(c, '(' | ')' | '[' | ']' | '"' | ';' | '\'' | '`' | ',')
+    }
+
+    fn atom(&mut self) -> Result<TokenKind, SchemeError> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if Self::is_delimiter(c) {
+                break;
+            }
+            s.push(c);
+            self.bump();
+        }
+        debug_assert!(!s.is_empty());
+        if s == "." {
+            return Ok(TokenKind::Dot);
+        }
+        // Numbers: [+-]?digits, [+-]?digits.digits(e[+-]?digits)?
+        if let Ok(n) = s.parse::<i64>() {
+            return Ok(TokenKind::Fixnum(n));
+        }
+        if looks_numeric(&s) {
+            if let Ok(x) = s.parse::<f64>() {
+                return Ok(TokenKind::Flonum(x));
+            }
+        }
+        // Anything that fails to parse as a number is an identifier
+        // (historical identifiers like `1+` included).
+        Ok(TokenKind::Ident(s))
+    }
+}
+
+/// Distinguishes would-be numbers from identifiers like `+` or `1+`.
+fn looks_numeric(s: &str) -> bool {
+    let body = s.strip_prefix(['+', '-']).unwrap_or(s);
+    !body.is_empty()
+        && body.starts_with(|c: char| c.is_ascii_digit() || c == '.')
+        && body.chars().all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_expression() {
+        assert_eq!(
+            kinds("(+ 1 2)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("+".into()),
+                TokenKind::Fixnum(1),
+                TokenKind::Fixnum(2),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn brackets_are_parens() {
+        assert_eq!(kinds("[]"), vec![TokenKind::LParen, TokenKind::RParen]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Fixnum(42)]);
+        assert_eq!(kinds("-7"), vec![TokenKind::Fixnum(-7)]);
+        assert_eq!(kinds("+7"), vec![TokenKind::Fixnum(7)]);
+        assert_eq!(kinds("3.25"), vec![TokenKind::Flonum(3.25)]);
+        assert_eq!(kinds("-1.5e3"), vec![TokenKind::Flonum(-1500.0)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Flonum(0.5)]);
+    }
+
+    #[test]
+    fn identifiers_including_signs() {
+        assert_eq!(kinds("+"), vec![TokenKind::Ident("+".into())]);
+        assert_eq!(kinds("-"), vec![TokenKind::Ident("-".into())]);
+        assert_eq!(kinds("list->vector"), vec![TokenKind::Ident("list->vector".into())]);
+        assert_eq!(kinds("set!"), vec![TokenKind::Ident("set!".into())]);
+        assert_eq!(kinds("1+"), vec![TokenKind::Ident("1+".into())]);
+    }
+
+    #[test]
+    fn booleans_chars_vectors() {
+        assert_eq!(kinds("#t #f"), vec![TokenKind::Bool(true), TokenKind::Bool(false)]);
+        assert_eq!(kinds("#\\a"), vec![TokenKind::Char('a')]);
+        assert_eq!(kinds("#\\space"), vec![TokenKind::Char(' ')]);
+        assert_eq!(kinds("#\\newline"), vec![TokenKind::Char('\n')]);
+        assert_eq!(kinds("#\\)"), vec![TokenKind::Char(')')]);
+        assert_eq!(kinds("#(1 2)")[0], TokenKind::VecOpen);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds(r#""hi\n\"there\"""#), vec![TokenKind::Str("hi\n\"there\"".into())]);
+    }
+
+    #[test]
+    fn quotes_and_unquotes() {
+        assert_eq!(
+            kinds("'a `b ,c ,@d"),
+            vec![
+                TokenKind::Quote,
+                TokenKind::Ident("a".into()),
+                TokenKind::Quasiquote,
+                TokenKind::Ident("b".into()),
+                TokenKind::Unquote,
+                TokenKind::Ident("c".into()),
+                TokenKind::UnquoteSplicing,
+                TokenKind::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("; hello\n42 ; trailing"), vec![TokenKind::Fixnum(42)]);
+    }
+
+    #[test]
+    fn dotted_pair_dot() {
+        assert_eq!(
+            kinds("(a . b)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn position_tracking() {
+        let toks = tokenize("(a\n  b)").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[2].pos.line, 2);
+        assert_eq!(toks[2].pos.col, 3);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("#q").is_err());
+        assert!(tokenize("#\\bogusname").is_err());
+        assert!(tokenize(r#""bad \q escape""#).is_err());
+    }
+}
+
+#[cfg(test)]
+mod block_comment_tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn block_comments_are_atmosphere() {
+        assert_eq!(kinds("1 #| two |# 3"), vec![TokenKind::Fixnum(1), TokenKind::Fixnum(3)]);
+        assert_eq!(kinds("#| leading |# x"), vec![TokenKind::Ident("x".into())]);
+        assert_eq!(kinds("x #| trailing |#"), vec![TokenKind::Ident("x".into())]);
+        assert_eq!(kinds("#||#42"), vec![TokenKind::Fixnum(42)]);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        assert_eq!(
+            kinds("(a #| outer #| inner |# still-comment |# b)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comments_may_span_lines_and_hold_strings() {
+        assert_eq!(kinds("#| \"(unclosed\n ;; ) |# ok"), vec![TokenKind::Ident("ok".into())]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(tokenize("1 #| never closed").is_err());
+        assert!(tokenize("#| a #| b |#").is_err(), "inner close only");
+    }
+}

@@ -1,0 +1,373 @@
+//! `syntax-rules` pattern-matching macros.
+//!
+//! Supports the R4RS appendix surface: `(define-syntax name (syntax-rules
+//! (literal …) (pattern template) …))` with `...` ellipsis (including
+//! nesting) and `_` wildcards. Expansion is *non-hygienic*: templates are
+//! spliced as plain data, so a macro can capture user identifiers —
+//! acceptable for this reproduction and documented. Lexically shadowed
+//! macro names are not treated as macros (the expander's usual scope rule).
+
+use std::collections::HashMap;
+
+use crate::error::SchemeError;
+use crate::intern::Symbol;
+use crate::value::Value;
+
+/// A compiled `syntax-rules` transformer.
+#[derive(Clone, Debug)]
+pub struct MacroDef {
+    literals: Vec<Symbol>,
+    rules: Vec<(Value, Value)>,
+}
+
+/// What a pattern variable captured: one datum, or a sequence of captures
+/// under an ellipsis (possibly nested).
+#[derive(Clone, Debug)]
+enum Binding {
+    One(Value),
+    Seq(Vec<Binding>),
+}
+
+type Bindings = HashMap<Symbol, Binding>;
+
+impl MacroDef {
+    /// Parses `(syntax-rules (literal …) (pattern template) …)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Compile`] on malformed transformers.
+    pub fn parse(spec: &Value) -> Result<MacroDef, SchemeError> {
+        let items = spec
+            .list_to_vec()
+            .map_err(|_| SchemeError::compile("define-syntax: bad transformer"))?;
+        let [head, lits, rules @ ..] = items.as_slice() else {
+            return Err(SchemeError::compile("syntax-rules: missing literals list"));
+        };
+        if !matches!(head, Value::Sym(s) if s.as_str() == "syntax-rules") {
+            return Err(SchemeError::compile(format!(
+                "define-syntax: only syntax-rules transformers are supported, got {head}"
+            )));
+        }
+        let literals = lits
+            .list_to_vec()
+            .map_err(|_| SchemeError::compile("syntax-rules: bad literals list"))?
+            .into_iter()
+            .map(|l| match l {
+                Value::Sym(s) => Ok(s),
+                other => Err(SchemeError::compile(format!(
+                    "syntax-rules: literal must be an identifier, got {other}"
+                ))),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut parsed = Vec::new();
+        for rule in rules {
+            let pair = rule
+                .list_to_vec()
+                .map_err(|_| SchemeError::compile(format!("syntax-rules: bad rule {rule}")))?;
+            let [pattern, template] = <[Value; 2]>::try_from(pair).map_err(|_| {
+                SchemeError::compile("syntax-rules: each rule is (pattern template)")
+            })?;
+            parsed.push((pattern, template));
+        }
+        if parsed.is_empty() {
+            return Err(SchemeError::compile("syntax-rules: no rules"));
+        }
+        Ok(MacroDef { literals, rules: parsed })
+    }
+
+    /// Expands one use of the macro. `form` is the whole `(name …)` datum.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Compile`] if no rule matches or a template misuses
+    /// ellipsis.
+    pub fn expand(&self, form: &Value) -> Result<Value, SchemeError> {
+        for (pattern, template) in &self.rules {
+            let mut b = Bindings::new();
+            // The pattern's head position matches the macro keyword itself.
+            if self.match_pattern_tail(pattern, form, &mut b) {
+                return self.instantiate(template, &b);
+            }
+        }
+        Err(SchemeError::compile(format!("no syntax-rules pattern matches {form}")))
+    }
+
+    /// Matches `pattern` against `form`, ignoring both head positions
+    /// (the keyword slot).
+    fn match_pattern_tail(&self, pattern: &Value, form: &Value, b: &mut Bindings) -> bool {
+        match (pattern, form) {
+            (Value::Pair(pp), Value::Pair(fp)) => {
+                let ptail = pp.cdr.borrow().clone();
+                let ftail = fp.cdr.borrow().clone();
+                self.matches(&ptail, &ftail, b)
+            }
+            _ => false,
+        }
+    }
+
+    fn is_ellipsis(v: &Value) -> bool {
+        matches!(v, Value::Sym(s) if s.as_str() == "...")
+    }
+
+    fn matches(&self, pattern: &Value, form: &Value, b: &mut Bindings) -> bool {
+        match pattern {
+            Value::Sym(s) if s.as_str() == "_" => true,
+            Value::Sym(s) if self.literals.contains(s) => {
+                matches!(form, Value::Sym(f) if f == s)
+            }
+            Value::Sym(s) => {
+                b.insert(*s, Binding::One(form.clone()));
+                true
+            }
+            Value::Pair(pp) => {
+                // Ellipsis sub-pattern: (p ... tail…)
+                let pcar = pp.car.borrow().clone();
+                let pcdr = pp.cdr.borrow().clone();
+                if let Value::Pair(next) = &pcdr {
+                    if Self::is_ellipsis(&next.car.borrow()) {
+                        let after = next.cdr.borrow().clone();
+                        return self.match_ellipsis(&pcar, &after, form, b);
+                    }
+                }
+                let Value::Pair(fp) = form else { return false };
+                let fcar = fp.car.borrow().clone();
+                let fcdr = fp.cdr.borrow().clone();
+                self.matches(&pcar, &fcar, b) && self.matches(&pcdr, &fcdr, b)
+            }
+            Value::Nil => matches!(form, Value::Nil),
+            other => other.equal_value(form),
+        }
+    }
+
+    /// Matches `sub ... after` against `form`: `sub` repeats greedily but
+    /// must leave exactly as many trailing items as `after` requires.
+    fn match_ellipsis(
+        &self,
+        sub: &Value,
+        after: &Value,
+        form: &Value,
+        b: &mut Bindings,
+    ) -> bool {
+        let Ok(items) = form.list_to_vec() else { return false };
+        let after_len = match after.list_len() {
+            Some(n) => n,
+            None => return false,
+        };
+        if items.len() < after_len {
+            return false;
+        }
+        let split = items.len() - after_len;
+        // Collect per-iteration bindings for every variable in `sub`.
+        let vars = self.pattern_vars(sub);
+        let mut seqs: HashMap<Symbol, Vec<Binding>> =
+            vars.iter().map(|v| (*v, Vec::new())).collect();
+        for item in &items[..split] {
+            let mut inner = Bindings::new();
+            if !self.matches(sub, item, &mut inner) {
+                return false;
+            }
+            for v in &vars {
+                let captured = inner
+                    .remove(v)
+                    .unwrap_or(Binding::Seq(Vec::new()));
+                seqs.get_mut(v).expect("pre-seeded").push(captured);
+            }
+        }
+        for (v, seq) in seqs {
+            b.insert(v, Binding::Seq(seq));
+        }
+        self.matches(after, &Value::list(items[split..].iter().cloned()), b)
+    }
+
+    /// Pattern variables of `p` (excluding literals, `_` and `...`).
+    fn pattern_vars(&self, p: &Value) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_vars(p, &mut out);
+        out
+    }
+
+    fn collect_vars(&self, p: &Value, out: &mut Vec<Symbol>) {
+        match p {
+            Value::Sym(s)
+                if s.as_str() != "_"
+                    && s.as_str() != "..."
+                    && !self.literals.contains(s)
+                    && !out.contains(s)
+                => {
+                    out.push(*s);
+                }
+            Value::Pair(pp) => {
+                self.collect_vars(&pp.car.borrow(), out);
+                self.collect_vars(&pp.cdr.borrow(), out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Instantiates `template` under the bindings.
+    fn instantiate(&self, template: &Value, b: &Bindings) -> Result<Value, SchemeError> {
+        match template {
+            Value::Sym(s) => Ok(match b.get(s) {
+                Some(Binding::One(v)) => v.clone(),
+                Some(Binding::Seq(_)) => {
+                    return Err(SchemeError::compile(format!(
+                        "syntax-rules: {s} is an ellipsis variable used without ..."
+                    )))
+                }
+                None => template.clone(),
+            }),
+            Value::Pair(tp) => {
+                let tcar = tp.car.borrow().clone();
+                let tcdr = tp.cdr.borrow().clone();
+                // (sub ... rest): splice the expanded repetitions.
+                if let Value::Pair(next) = &tcdr {
+                    if Self::is_ellipsis(&next.car.borrow()) {
+                        let after = next.cdr.borrow().clone();
+                        let mut items = self.expand_repetitions(&tcar, b)?;
+                        let rest = self.instantiate(&after, b)?;
+                        let mut out = rest;
+                        while let Some(v) = items.pop() {
+                            out = Value::cons(v, out);
+                        }
+                        return Ok(out);
+                    }
+                }
+                Ok(Value::cons(self.instantiate(&tcar, b)?, self.instantiate(&tcdr, b)?))
+            }
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// Expands `sub ...`: iterates the sequence bindings of the ellipsis
+    /// variables occurring in `sub`.
+    fn expand_repetitions(&self, sub: &Value, b: &Bindings) -> Result<Vec<Value>, SchemeError> {
+        let vars: Vec<Symbol> = self
+            .pattern_vars(sub)
+            .into_iter()
+            .filter(|v| matches!(b.get(v), Some(Binding::Seq(_))))
+            .collect();
+        if vars.is_empty() {
+            return Err(SchemeError::compile(format!(
+                "syntax-rules: template {sub} ... has no ellipsis variable"
+            )));
+        }
+        let len = match b.get(&vars[0]) {
+            Some(Binding::Seq(seq)) => seq.len(),
+            _ => unreachable!("filtered above"),
+        };
+        for v in &vars[1..] {
+            if let Some(Binding::Seq(seq)) = b.get(v) {
+                if seq.len() != len {
+                    return Err(SchemeError::compile(format!(
+                        "syntax-rules: ellipsis variables {} and {} repeat different counts",
+                        vars[0], v
+                    )));
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut inner = b.clone();
+            for v in &vars {
+                if let Some(Binding::Seq(seq)) = b.get(v) {
+                    inner.insert(*v, seq[i].clone());
+                }
+            }
+            out.push(self.instantiate(sub, &inner)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_one;
+
+    fn def(src: &str) -> MacroDef {
+        MacroDef::parse(&read_one(src).unwrap()).unwrap()
+    }
+
+    fn expand(m: &MacroDef, form: &str) -> String {
+        m.expand(&read_one(form).unwrap()).unwrap().to_string()
+    }
+
+    #[test]
+    fn fixed_arity_rule() {
+        let m = def("(syntax-rules () ((_ a b) (b a)))");
+        assert_eq!(expand(&m, "(swapped 1 2)"), "(2 1)");
+        assert_eq!(expand(&m, "(swapped (f x) y)"), "(y (f x))");
+    }
+
+    #[test]
+    fn multiple_rules_choose_first_match() {
+        let m = def("(syntax-rules () ((_ ) 'none) ((_ a) a) ((_ a b) (cons a b)))");
+        assert_eq!(expand(&m, "(m)"), "(quote none)");
+        assert_eq!(expand(&m, "(m 7)"), "7");
+        assert_eq!(expand(&m, "(m 7 8)"), "(cons 7 8)");
+    }
+
+    #[test]
+    fn ellipsis_splices() {
+        let m = def("(syntax-rules () ((_ x ...) (list x ...)))");
+        assert_eq!(expand(&m, "(m)"), "(list)");
+        assert_eq!(expand(&m, "(m 1 2 3)"), "(list 1 2 3)");
+        let m = def("(syntax-rules () ((_ first rest ...) (cons first (list rest ...))))");
+        assert_eq!(expand(&m, "(m a b c)"), "(cons a (list b c))");
+    }
+
+    #[test]
+    fn ellipsis_with_structured_subpatterns() {
+        let m = def("(syntax-rules () ((_ (name val) ...) (list (cons 'name val) ...)))");
+        assert_eq!(
+            expand(&m, "(m (x 1) (y 2))"),
+            "(list (cons (quote x) 1) (cons (quote y) 2))"
+        );
+    }
+
+    #[test]
+    fn nested_ellipsis() {
+        let m = def("(syntax-rules () ((_ (a ...) ...) (list (list a ...) ...)))");
+        assert_eq!(expand(&m, "(m (1 2) () (3))"), "(list (list 1 2) (list) (list 3))");
+    }
+
+    #[test]
+    fn literals_must_match_exactly() {
+        let m = def("(syntax-rules (=>) ((_ a => b) (b a)) ((_ a b) (list a b)))");
+        assert_eq!(expand(&m, "(m 1 => f)"), "(f 1)");
+        assert_eq!(expand(&m, "(m 1 2)"), "(list 1 2)");
+    }
+
+    #[test]
+    fn ellipsis_followed_by_tail_pattern() {
+        let m = def("(syntax-rules () ((_ x ... last) (cons last (list x ...))))");
+        assert_eq!(expand(&m, "(m 1 2 3)"), "(cons 3 (list 1 2))");
+        assert_eq!(expand(&m, "(m 9)"), "(cons 9 (list))");
+    }
+
+    #[test]
+    fn wildcards_do_not_bind() {
+        let m = def("(syntax-rules () ((_ _ b) b))");
+        assert_eq!(expand(&m, "(m anything 42)"), "42");
+    }
+
+    #[test]
+    fn no_matching_rule_is_an_error() {
+        let m = def("(syntax-rules () ((_ a) a))");
+        assert!(m.expand(&read_one("(m 1 2 3)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn mismatched_repetition_counts_error() {
+        let m = def("(syntax-rules () ((_ (a ...) (b ...)) (list (cons a b) ...)))");
+        assert!(m.expand(&read_one("(m (1 2) (3))").unwrap()).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_transformers() {
+        assert!(MacroDef::parse(&read_one("(not-syntax-rules () ((_ a) a))").unwrap()).is_err());
+        assert!(MacroDef::parse(&read_one("(syntax-rules ())").unwrap()).is_err());
+        assert!(MacroDef::parse(&read_one("(syntax-rules (1) ((_ a) a))").unwrap()).is_err());
+        assert!(MacroDef::parse(&read_one("(syntax-rules () (just-pattern))").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! The Scheme prelude: library procedures written in Scheme.
+//!
+//! Loaded into every engine at startup (unless disabled), the prelude is
+//! compiled and run by the same pipeline as user code, so the standard
+//! library itself exercises the control stack. It includes the classic
+//! winders implementation of `dynamic-wind`, with `call/cc` rewrapped so
+//! continuation jumps unwind and rewind correctly — a torture test for
+//! multi-shot continuations in its own right.
+
+/// Scheme source of the prelude.
+pub const PRELUDE: &str = r#"
+;; ---- list utilities -------------------------------------------------------
+
+(define (map1 f l)
+  (if (null? l) '() (cons (f (car l)) (map1 f (cdr l)))))
+
+(define (map f . ls)
+  (if (null? (car ls))
+      '()
+      (cons (apply f (map1 car ls))
+            (apply map f (map1 cdr ls)))))
+
+(define (for-each f . ls)
+  (if (null? (car ls))
+      (void)
+      (begin
+        (apply f (map1 car ls))
+        (apply for-each f (map1 cdr ls)))))
+
+(define (filter pred l)
+  (cond ((null? l) '())
+        ((pred (car l)) (cons (car l) (filter pred (cdr l))))
+        (else (filter pred (cdr l)))))
+
+(define (fold-left f acc l)
+  (if (null? l) acc (fold-left f (f acc (car l)) (cdr l))))
+
+(define (fold-right f init l)
+  (if (null? l) init (f (car l) (fold-right f init (cdr l)))))
+
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+
+(define (last-pair l)
+  (if (pair? (cdr l)) (last-pair (cdr l)) l))
+
+(define (list-copy l) (append l '()))
+
+;; ---- dynamic-wind and rerooting call/cc ------------------------------------
+
+(define %winders '())
+
+(define (%common-tail x y)
+  (let ((lx (length x)) (ly (length y)))
+    (let loop ((x (if (> lx ly) (list-tail x (- lx ly)) x))
+               (y (if (> ly lx) (list-tail y (- ly lx)) y)))
+      (if (eq? x y) x (loop (cdr x) (cdr y))))))
+
+(define (%unwind-to common)
+  (if (eq? %winders common)
+      (void)
+      (let ((w (car %winders)))
+        (set! %winders (cdr %winders))
+        ((cdr w))
+        (%unwind-to common))))
+
+(define (%rewind-above target common)
+  (if (eq? target common)
+      (void)
+      (begin
+        (%rewind-above (cdr target) common)
+        ((car (car target)))
+        (set! %winders target))))
+
+(define (%reroot! target)
+  (let ((common (%common-tail %winders target)))
+    (%unwind-to common)
+    (%rewind-above target common)))
+
+(define (dynamic-wind before thunk after)
+  (before)
+  (set! %winders (cons (cons before after) %winders))
+  (let ((result (thunk)))
+    (set! %winders (cdr %winders))
+    (after)
+    result))
+
+(define call-with-current-continuation
+  (let ((primitive %call/cc))
+    (lambda (f)
+      (primitive
+        (lambda (k)
+          (f (let ((saved %winders))
+               (lambda (v)
+                 (if (eq? %winders saved) (void) (%reroot! saved))
+                 (k v)))))))))
+
+(define call/cc call-with-current-continuation)
+
+;; ---- string ports -----------------------------------------------------------
+
+(define (call-with-output-string proc)
+  (let ((port (open-output-string)))
+    (proc port)
+    (get-output-string port)))
+
+;; ---- multiple values --------------------------------------------------------
+
+(define (call-with-values producer consumer)
+  (let ((v (producer)))
+    (if (%values? v)
+        (apply consumer (%values->list v))
+        (consumer v))))
+
+;; ---- sorting ----------------------------------------------------------------
+
+(define (sort lst less?)
+  (define (merge a b)
+    (cond ((null? a) b)
+          ((null? b) a)
+          ((less? (car b) (car a)) (cons (car b) (merge a (cdr b))))
+          (else (cons (car a) (merge (cdr a) b)))))
+  (define (split l)
+    (if (or (null? l) (null? (cdr l)))
+        (cons l '())
+        (let ((rest (split (cddr l))))
+          (cons (cons (car l) (car rest)) (cons (cadr l) (cdr rest))))))
+  (if (or (null? lst) (null? (cdr lst)))
+      lst
+      (let ((halves (split lst)))
+        (merge (sort (car halves) less?) (sort (cdr halves) less?)))))
+
+;; ---- promises ---------------------------------------------------------------
+
+(define (make-promise thunk)
+  (let ((forced #f) (value #f))
+    (lambda ()
+      (if forced
+          value
+          (begin
+            (set! value (thunk))
+            (set! forced #t)
+            value)))))
+
+(define (force p) (p))
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_is_readable() {
+        let data = crate::reader::read_all(PRELUDE).unwrap();
+        assert!(data.len() > 10);
+    }
+}

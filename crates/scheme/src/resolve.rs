@@ -1,0 +1,391 @@
+//! Variable resolution, assignment conversion and closure conversion.
+//!
+//! Three analyses fused into one pass over the core AST:
+//!
+//! * **Scoping**: every variable reference becomes a frame slot, a closure
+//!   free-variable index, or a global slot.
+//! * **Assignment conversion**: any parameter targeted by `set!` (anywhere
+//!   in its scope) is *boxed* — the frame slot holds a heap cell, and all
+//!   reads/writes go through it. This is the paper's "pointers to cells in
+//!   the heap containing the actual parameters if the parameters are
+//!   assignable" (§3), and it is what makes frame slots single-assignment,
+//!   so sealed stack segments can be shared or copied freely.
+//! * **Closure conversion**: each lambda gets a flat capture list; a
+//!   captured boxed variable captures the *cell*, preserving sharing.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use crate::ast::{Ast, AstLambda, LambdaId};
+use crate::code::Globals;
+use crate::error::SchemeError;
+use crate::intern::Symbol;
+use crate::value::Value;
+
+/// A resolved expression.
+#[derive(Clone, Debug)]
+pub enum RExpr {
+    /// Literal.
+    Quote(Value),
+    /// Read an unboxed frame slot.
+    LocalRef(u16),
+    /// Read through the cell in a frame slot.
+    LocalCellRef(u16),
+    /// Read an unboxed captured value.
+    FreeRef(u16),
+    /// Read through a captured cell.
+    FreeCellRef(u16),
+    /// Read a global.
+    GlobalRef(u32),
+    /// Write through the cell in a frame slot.
+    LocalCellSet(u16, Box<RExpr>),
+    /// Write through a captured cell.
+    FreeCellSet(u16, Box<RExpr>),
+    /// `set!` a global.
+    GlobalSet(u32, Box<RExpr>),
+    /// `define` a global (top level only).
+    GlobalDef(u32, Box<RExpr>),
+    /// Conditional.
+    If(Box<RExpr>, Box<RExpr>, Box<RExpr>),
+    /// Sequence.
+    Begin(Vec<RExpr>),
+    /// Procedure call.
+    Call(Box<RExpr>, Vec<RExpr>),
+    /// Lambda (closure template).
+    Lambda(Rc<RLambda>),
+}
+
+/// How a lambda loads one captured value, evaluated in the *enclosing*
+/// frame at closure-creation time. Boxed variables capture their cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Capture {
+    /// Raw read of an enclosing frame slot.
+    Local(u16),
+    /// Raw read of the enclosing closure's capture.
+    Free(u16),
+}
+
+/// A resolved lambda.
+#[derive(Clone, Debug)]
+pub struct RLambda {
+    /// Required parameter count.
+    pub nparams: u16,
+    /// Rest-parameter flag (rest list bound to the last parameter).
+    pub variadic: bool,
+    /// Which parameters are assignment-converted (boxed at entry).
+    pub boxed_params: Vec<bool>,
+    /// Captured free variables, in capture-list order.
+    pub captures: Vec<Capture>,
+    /// The body.
+    pub body: RExpr,
+    /// Name for diagnostics.
+    pub name: Option<Symbol>,
+    /// Whether the body performs no calls (leaf procedure — eligible for
+    /// overflow-check elision at call sites, §5).
+    pub leaf: bool,
+}
+
+/// Offset of parameter 0 within a frame: slot 0 is the return address,
+/// slot 1 the closure.
+pub const PARAM_BASE: u16 = 2;
+
+/// Resolves a top-level core expression.
+///
+/// # Errors
+///
+/// [`SchemeError::Compile`] on malformed programs (`define` in expression
+/// position).
+pub fn resolve_toplevel(ast: &Ast, globals: &mut Globals) -> Result<RExpr, SchemeError> {
+    let assigned = collect_assigned(ast);
+    let mut r = Resolver { assigned, globals, frames: Vec::new() };
+    r.resolve(ast, true)
+}
+
+/// A binding site: which lambda, which parameter.
+type BindId = (LambdaId, usize);
+
+/// Collects every binding targeted by a `set!` anywhere in its scope.
+fn collect_assigned(ast: &Ast) -> HashSet<BindId> {
+    fn walk(ast: &Ast, scope: &mut Vec<(LambdaId, Vec<Symbol>)>, out: &mut HashSet<BindId>) {
+        match ast {
+            Ast::Quote(_) | Ast::Var(_) => {}
+            Ast::Set(name, value) => {
+                // Find the innermost binder of `name`.
+                for (id, params) in scope.iter().rev() {
+                    if let Some(i) = params.iter().rposition(|p| p == name) {
+                        out.insert((*id, i));
+                        break;
+                    }
+                }
+                walk(value, scope, out);
+            }
+            Ast::If(c, t, e) => {
+                walk(c, scope, out);
+                walk(t, scope, out);
+                walk(e, scope, out);
+            }
+            Ast::Lambda(l) => {
+                scope.push((l.id, l.params.clone()));
+                walk(&l.body, scope, out);
+                scope.pop();
+            }
+            Ast::Call(op, args) => {
+                walk(op, scope, out);
+                for a in args {
+                    walk(a, scope, out);
+                }
+            }
+            Ast::Begin(es) => {
+                for e in es {
+                    walk(e, scope, out);
+                }
+            }
+            Ast::Define(_, value) => walk(value, scope, out),
+        }
+    }
+    let mut out = HashSet::new();
+    walk(ast, &mut Vec::new(), &mut out);
+    out
+}
+
+/// One lambda's scope during resolution.
+struct FrameScope {
+    id: LambdaId,
+    params: Vec<Symbol>,
+    /// Free variables accumulated so far (append-only; indices are final).
+    free: Vec<Symbol>,
+}
+
+struct Resolver<'a> {
+    assigned: HashSet<BindId>,
+    globals: &'a mut Globals,
+    frames: Vec<FrameScope>,
+}
+
+impl Resolver<'_> {
+    /// Is binding (frame `d`, param `i`) boxed?
+    fn boxed(&self, d: usize, i: usize) -> bool {
+        self.assigned.contains(&(self.frames[d].id, i))
+    }
+
+    /// Finds the binding frame of `sym` and threads it as a free variable
+    /// through every intervening lambda. Returns `None` for globals,
+    /// `Some((kind, boxed))` otherwise, where kind is Local/Free relative
+    /// to the innermost frame.
+    fn lookup(&mut self, sym: Symbol) -> Option<(Capture, bool)> {
+        let n = self.frames.len();
+        if n == 0 {
+            return None;
+        }
+        // Innermost binding frame.
+        let db = (0..n).rev().find(|&d| self.frames[d].params.contains(&sym))?;
+        let pidx = self.frames[db].params.iter().rposition(|p| *p == sym).expect("just found");
+        let boxed = self.boxed(db, pidx);
+        if db == n - 1 {
+            return Some((Capture::Local(PARAM_BASE + pidx as u16), boxed));
+        }
+        // Thread through frames db+1 ..= n-1.
+        for d in db + 1..n {
+            if !self.frames[d].free.contains(&sym) {
+                self.frames[d].free.push(sym);
+            }
+        }
+        let idx = self.frames[n - 1].free.iter().position(|f| *f == sym).expect("just added");
+        Some((Capture::Free(idx as u16), boxed))
+    }
+
+    fn resolve(&mut self, ast: &Ast, toplevel: bool) -> Result<RExpr, SchemeError> {
+        match ast {
+            Ast::Quote(v) => Ok(RExpr::Quote(v.clone())),
+            Ast::Var(sym) => Ok(match self.lookup(*sym) {
+                Some((Capture::Local(slot), false)) => RExpr::LocalRef(slot),
+                Some((Capture::Local(slot), true)) => RExpr::LocalCellRef(slot),
+                Some((Capture::Free(idx), false)) => RExpr::FreeRef(idx),
+                Some((Capture::Free(idx), true)) => RExpr::FreeCellRef(idx),
+                None => RExpr::GlobalRef(self.globals.slot(*sym)),
+            }),
+            Ast::Set(sym, value) => {
+                let value = Box::new(self.resolve(value, false)?);
+                Ok(match self.lookup(*sym) {
+                    Some((Capture::Local(slot), true)) => RExpr::LocalCellSet(slot, value),
+                    Some((Capture::Free(idx), true)) => RExpr::FreeCellSet(idx, value),
+                    Some((_, false)) => unreachable!("set! target not marked assigned"),
+                    None => RExpr::GlobalSet(self.globals.slot(*sym), value),
+                })
+            }
+            Ast::If(c, t, e) => Ok(RExpr::If(
+                Box::new(self.resolve(c, false)?),
+                Box::new(self.resolve(t, false)?),
+                Box::new(self.resolve(e, false)?),
+            )),
+            Ast::Begin(es) => {
+                let rs = es
+                    .iter()
+                    .map(|e| self.resolve(e, toplevel))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(RExpr::Begin(rs))
+            }
+            Ast::Call(op, args) => Ok(RExpr::Call(
+                Box::new(self.resolve(op, false)?),
+                args.iter().map(|a| self.resolve(a, false)).collect::<Result<Vec<_>, _>>()?,
+            )),
+            Ast::Define(name, value) => {
+                if !toplevel {
+                    return Err(SchemeError::compile(format!(
+                        "define of {name} in expression position"
+                    )));
+                }
+                let g = self.globals.slot(*name);
+                let value = Box::new(self.resolve(value, false)?);
+                Ok(RExpr::GlobalDef(g, value))
+            }
+            Ast::Lambda(l) => self.resolve_lambda(l),
+        }
+    }
+
+    fn resolve_lambda(&mut self, l: &AstLambda) -> Result<RExpr, SchemeError> {
+        let leaf = !l.body.contains_call();
+        self.frames.push(FrameScope { id: l.id, params: l.params.clone(), free: Vec::new() });
+        let body = self.resolve(&l.body, false)?;
+        let frame = self.frames.pop().expect("frame pushed above");
+        let boxed_params = (0..l.params.len())
+            .map(|i| self.assigned.contains(&(l.id, i)))
+            .collect();
+        // Resolve captures in the (now innermost) enclosing context; boxed
+        // variables capture the cell itself, so raw reads either way.
+        let mut captures = Vec::with_capacity(frame.free.len());
+        for sym in &frame.free {
+            let (cap, _boxed) = self
+                .lookup(*sym)
+                .expect("free variable must be bound in an enclosing frame");
+            captures.push(cap);
+        }
+        Ok(RExpr::Lambda(Rc::new(RLambda {
+            nparams: l.params.len() as u16,
+            variadic: l.variadic,
+            boxed_params,
+            captures,
+            body,
+            name: l.name,
+            leaf,
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::Expander;
+    use crate::reader::read_one;
+
+    fn resolve(src: &str) -> (RExpr, Globals) {
+        let ast = Expander::new().expand_toplevel(&read_one(src).unwrap()).unwrap();
+        let mut globals = Globals::new();
+        let r = resolve_toplevel(&ast, &mut globals).unwrap();
+        (r, globals)
+    }
+
+    fn lambda_of(r: &RExpr) -> Rc<RLambda> {
+        match r {
+            RExpr::Lambda(l) => l.clone(),
+            _ => panic!("expected lambda, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn globals_are_allocated() {
+        let (r, globals) = resolve("x");
+        assert!(matches!(r, RExpr::GlobalRef(0)));
+        assert_eq!(globals.name(0), Symbol::intern("x"));
+    }
+
+    #[test]
+    fn params_resolve_to_slots() {
+        let (r, _) = resolve("(lambda (a b) b)");
+        let l = lambda_of(&r);
+        assert!(matches!(l.body, RExpr::LocalRef(3)), "b is the second param: slot 3");
+        assert_eq!(l.boxed_params, vec![false, false]);
+        assert!(l.leaf);
+    }
+
+    #[test]
+    fn assigned_params_are_boxed() {
+        let (r, _) = resolve("(lambda (a) (set! a 1) a)");
+        let l = lambda_of(&r);
+        assert_eq!(l.boxed_params, vec![true]);
+        let RExpr::Begin(es) = &l.body else { panic!() };
+        assert!(matches!(es[0], RExpr::LocalCellSet(2, _)));
+        assert!(matches!(es[1], RExpr::LocalCellRef(2)));
+    }
+
+    #[test]
+    fn free_variables_are_captured() {
+        let (r, _) = resolve("(lambda (a) (lambda (b) a))");
+        let outer = lambda_of(&r);
+        let inner = lambda_of(&outer.body);
+        assert_eq!(inner.captures, vec![Capture::Local(2)]);
+        assert!(matches!(inner.body, RExpr::FreeRef(0)));
+    }
+
+    #[test]
+    fn free_variables_thread_through_intermediate_lambdas() {
+        let (r, _) = resolve("(lambda (a) (lambda (b) (lambda (c) a)))");
+        let l1 = lambda_of(&r);
+        let l2 = lambda_of(&l1.body);
+        let l3 = lambda_of(&l2.body);
+        assert_eq!(l2.captures, vec![Capture::Local(2)], "middle captures a from its enclosing frame");
+        assert_eq!(l3.captures, vec![Capture::Free(0)], "inner captures a from the middle's closure");
+        assert!(matches!(l3.body, RExpr::FreeRef(0)));
+    }
+
+    #[test]
+    fn assigned_free_variables_use_cells_at_both_levels() {
+        let (r, _) = resolve("(lambda (a) (lambda () (set! a 1)) a)");
+        let outer = lambda_of(&r);
+        assert_eq!(outer.boxed_params, vec![true]);
+        let RExpr::Begin(es) = &outer.body else { panic!() };
+        let inner = lambda_of(&es[0]);
+        assert_eq!(inner.captures, vec![Capture::Local(2)], "captures the cell slot raw");
+        assert!(matches!(inner.body, RExpr::FreeCellSet(0, _)));
+        assert!(matches!(es[1], RExpr::LocalCellRef(2)), "outer read goes through the cell");
+    }
+
+    #[test]
+    fn set_on_global() {
+        let (r, _) = resolve("(lambda () (set! g 1))");
+        let l = lambda_of(&r);
+        assert!(matches!(l.body, RExpr::GlobalSet(0, _)));
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let (r, _) = resolve("(lambda (a) (+ a 1))");
+        assert!(!lambda_of(&r).leaf, "a call to + is still a call");
+        let (r, _) = resolve("(lambda (a) (if a 1 2))");
+        assert!(lambda_of(&r).leaf);
+    }
+
+    #[test]
+    fn let_bound_variables_are_params_after_expansion() {
+        let (r, _) = resolve("(let ((x 1)) (let ((y 2)) (set! x y) x))");
+        let RExpr::Call(op, _) = r else { panic!() };
+        let outer = lambda_of(&op);
+        assert_eq!(outer.boxed_params, vec![true], "x is assigned in the inner let");
+    }
+
+    #[test]
+    fn same_name_shadowing_resolves_innermost() {
+        let (r, _) = resolve("(lambda (x) (lambda (x) x))");
+        let outer = lambda_of(&r);
+        let inner = lambda_of(&outer.body);
+        assert!(inner.captures.is_empty(), "inner x shadows; no capture needed");
+        assert!(matches!(inner.body, RExpr::LocalRef(2)));
+    }
+
+    #[test]
+    fn toplevel_define_resolves() {
+        let (r, globals) = resolve("(define x 42)");
+        assert!(matches!(r, RExpr::GlobalDef(0, _)));
+        assert_eq!(globals.name(0), Symbol::intern("x"));
+    }
+}

@@ -1,0 +1,699 @@
+//! The bytecode interpreter.
+//!
+//! An accumulator machine whose activation records live entirely in a
+//! pluggable [`ControlStack`]: the paper's segmented stack or any of the
+//! four baseline strategies. The VM follows the paper's protocol — staged
+//! partial frames, displacement-adjusted frame pointer, return address at
+//! the frame base, proper tail calls by frame reuse — and implements
+//! `call/cc` as: perform the call, then capture (the sealed segment's
+//! return address is the `call/cc` call's return point).
+//!
+//! A Chez-style engine timer is included: `(set-timer ticks)` arms a
+//! countdown decremented at every call; when it reaches zero the installed
+//! handler is invoked as if inserted at the pending call, which re-executes
+//! after the handler returns. This is what `segstack-control` builds
+//! engines from.
+
+use std::rc::Rc;
+
+use segstack_core::{CodeAddr, ControlStack, ReturnAddress};
+
+use crate::code::{Chunk, CodeStore, Globals, Instr};
+use crate::codegen::{compile_toplevel, CompileOptions};
+use crate::error::SchemeError;
+use crate::expand::Expander;
+use crate::intern::Symbol;
+use crate::primitives::{def_of, PrimCtx, PrimKind, PRIMITIVES};
+use crate::value::{Closure, Primitive, Value};
+
+/// VM execution limits and knobs.
+#[derive(Clone, Debug)]
+pub struct VmOptions {
+    /// Abort after this many instructions (`None` = unlimited). A guard
+    /// for tests and property-based fuzzing.
+    pub max_steps: Option<u64>,
+    /// Frame bound used to validate `apply` spreads; must match the
+    /// control stack's configured frame bound.
+    pub frame_bound: usize,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions { max_steps: None, frame_bound: 64 }
+    }
+}
+
+/// Engine-timer state carried across top-level evaluations.
+#[derive(Clone, Debug, Default)]
+pub struct TimerState {
+    /// Remaining ticks; 0 = disarmed.
+    pub fuel: i64,
+    /// The installed interrupt handler (a procedure, or unspecified).
+    pub handler: Value,
+}
+
+/// Runs chunk `entry` to completion.
+///
+/// # Errors
+///
+/// Any [`SchemeError`] raised by the program, plus stack errors and the
+/// step-budget guard.
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    stack: &mut dyn ControlStack<Value>,
+    store: &CodeStore,
+    globals: &mut Globals,
+    out: &mut String,
+    timer: &mut TimerState,
+    opts: &VmOptions,
+    expander: &mut Expander,
+    copts: &CompileOptions,
+    entry: u32,
+) -> Result<Value, SchemeError> {
+    let chunk = store.chunk(entry);
+    let mut vm = Vm {
+        stack,
+        store,
+        globals,
+        out,
+        timer,
+        opts,
+        expander,
+        copts,
+        chunk,
+        chunk_id: entry,
+        pc: 0,
+        acc: Value::Unspecified,
+        steps: 0,
+    };
+    vm.run()
+}
+
+struct Vm<'a> {
+    stack: &'a mut dyn ControlStack<Value>,
+    store: &'a CodeStore,
+    globals: &'a mut Globals,
+    out: &'a mut String,
+    timer: &'a mut TimerState,
+    opts: &'a VmOptions,
+    expander: &'a mut Expander,
+    copts: &'a CompileOptions,
+    chunk: Rc<Chunk>,
+    chunk_id: u32,
+    pc: usize,
+    acc: Value,
+    steps: u64,
+}
+
+impl Vm<'_> {
+    fn jump(&mut self, addr: CodeAddr) {
+        if addr.chunk() != self.chunk_id {
+            self.chunk = self.store.chunk(addr.chunk());
+            self.chunk_id = addr.chunk();
+        }
+        self.pc = addr.offset() as usize;
+    }
+
+    fn enter_chunk(&mut self, id: u32) {
+        if id != self.chunk_id {
+            self.chunk = self.store.chunk(id);
+            self.chunk_id = id;
+        } else {
+            // Self-call: the chunk is already loaded.
+        }
+        self.pc = 0;
+    }
+
+    /// Pops the current frame; `Some(value)` means the computation is done.
+    fn do_return(&mut self) -> Result<Option<Value>, SchemeError> {
+        match self.stack.ret()? {
+            ReturnAddress::Code(r) => {
+                self.jump(r);
+                Ok(None)
+            }
+            ReturnAddress::Exit => Ok(Some(std::mem::take(&mut self.acc))),
+            ReturnAddress::Underflow => unreachable!("underflow is handled inside ret"),
+        }
+    }
+
+    fn closure_cell(&self) -> Result<Rc<Closure>, SchemeError> {
+        match self.stack.get(1) {
+            Value::Closure(c) => Ok(c),
+            other => Err(SchemeError::runtime(format!(
+                "corrupted frame: slot 1 holds {other}, not the closure"
+            ))),
+        }
+    }
+
+    fn run(&mut self) -> Result<Value, SchemeError> {
+        loop {
+            if let Some(max) = self.opts.max_steps {
+                self.steps += 1;
+                if self.steps > max {
+                    return Err(SchemeError::runtime(format!(
+                        "step budget of {max} instructions exceeded"
+                    )));
+                }
+            }
+            let instr = self.chunk.instrs[self.pc].clone();
+            match instr {
+                Instr::Const(i) => {
+                    self.acc = self.chunk.consts[i as usize].clone();
+                    self.pc += 1;
+                }
+                Instr::Fix(n) => {
+                    self.acc = Value::Fixnum(n);
+                    self.pc += 1;
+                }
+                Instr::True => {
+                    self.acc = Value::Bool(true);
+                    self.pc += 1;
+                }
+                Instr::False => {
+                    self.acc = Value::Bool(false);
+                    self.pc += 1;
+                }
+                Instr::Nil => {
+                    self.acc = Value::Nil;
+                    self.pc += 1;
+                }
+                Instr::Unspec => {
+                    self.acc = Value::Unspecified;
+                    self.pc += 1;
+                }
+                Instr::LocalRef(s) => {
+                    self.acc = self.stack.get(s as usize);
+                    self.pc += 1;
+                }
+                Instr::LocalSet(s) => {
+                    self.stack.set(s as usize, self.acc.clone());
+                    self.pc += 1;
+                }
+                Instr::CellRef(s) => {
+                    self.acc = match self.stack.get(s as usize) {
+                        Value::Cell(c) => c.borrow().clone(),
+                        other => {
+                            return Err(SchemeError::runtime(format!(
+                                "corrupted frame: slot {s} holds {other}, not a cell"
+                            )))
+                        }
+                    };
+                    self.pc += 1;
+                }
+                Instr::CellSet(s) => {
+                    match self.stack.get(s as usize) {
+                        Value::Cell(c) => *c.borrow_mut() = self.acc.clone(),
+                        other => {
+                            return Err(SchemeError::runtime(format!(
+                                "corrupted frame: slot {s} holds {other}, not a cell"
+                            )))
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::FreeRef(i) => {
+                    self.acc = self.closure_cell()?.free[i as usize].clone();
+                    self.pc += 1;
+                }
+                Instr::FreeCellRef(i) => {
+                    self.acc = match &self.closure_cell()?.free[i as usize] {
+                        Value::Cell(c) => c.borrow().clone(),
+                        other => {
+                            return Err(SchemeError::runtime(format!(
+                                "corrupted closure: capture {i} holds {other}, not a cell"
+                            )))
+                        }
+                    };
+                    self.pc += 1;
+                }
+                Instr::FreeCellSet(i) => {
+                    match &self.closure_cell()?.free[i as usize] {
+                        Value::Cell(c) => *c.borrow_mut() = self.acc.clone(),
+                        other => {
+                            return Err(SchemeError::runtime(format!(
+                                "corrupted closure: capture {i} holds {other}, not a cell"
+                            )))
+                        }
+                    }
+                    self.pc += 1;
+                }
+                Instr::WrapCell(s) => {
+                    let v = self.stack.get(s as usize);
+                    self.stack.set(s as usize, Value::cell(v));
+                    self.pc += 1;
+                }
+                Instr::GlobalRef(g) => {
+                    self.acc = self.globals.get(g)?;
+                    self.pc += 1;
+                }
+                Instr::GlobalSet(g) => {
+                    self.globals.set(g, self.acc.clone())?;
+                    self.pc += 1;
+                }
+                Instr::GlobalDef(g) => {
+                    self.globals.define(g, self.acc.clone());
+                    self.pc += 1;
+                }
+                Instr::MakeClosure { chunk, src, nfree } => {
+                    let free: Box<[Value]> =
+                        (0..nfree).map(|i| self.stack.get((src + i) as usize)).collect();
+                    let target = self.store.chunk(chunk);
+                    self.acc = Value::Closure(Rc::new(Closure {
+                        chunk,
+                        nparams: target.nparams,
+                        variadic: target.variadic,
+                        free,
+                        name: Some(Symbol::intern(&target.name)),
+                    }));
+                    self.pc += 1;
+                }
+                Instr::Jump(t) => self.pc = t as usize,
+                Instr::JumpIfFalse(t) => {
+                    if self.acc.is_truthy() {
+                        self.pc += 1;
+                    } else {
+                        self.pc = t as usize;
+                    }
+                }
+                Instr::FrameSize(_) => self.pc += 1, // data word: no-op in sequence
+                Instr::Return => {
+                    if let Some(v) = self.do_return()? {
+                        return Ok(v);
+                    }
+                }
+                Instr::Call { d, nargs, check } => {
+                    if self.timer_fires()? {
+                        continue;
+                    }
+                    let op = self.stack.get(d as usize + 1);
+                    if let Some(v) = self.call_with_op(op, d, nargs, check)? {
+                        return Ok(v);
+                    }
+                }
+                Instr::TailCall { src, nargs } => {
+                    if self.timer_fires()? {
+                        continue;
+                    }
+                    let op = self.stack.get(src as usize);
+                    if let Some(v) = self.tail_with_op(op, src, nargs)? {
+                        return Ok(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decrements the engine timer; if it expires, pushes a handler frame
+    /// whose return point is the pending call instruction itself (the
+    /// `FrameSize` word before every call instruction makes that a valid
+    /// walkable return point).
+    fn timer_fires(&mut self) -> Result<bool, SchemeError> {
+        if self.timer.fuel <= 0 {
+            return Ok(false);
+        }
+        self.timer.fuel -= 1;
+        if self.timer.fuel > 0 {
+            return Ok(false);
+        }
+        let handler = self.timer.handler.clone();
+        if !handler.is_procedure() {
+            return Ok(false);
+        }
+        let Instr::FrameSize(dh) = self.chunk.instrs[self.pc - 1] else {
+            unreachable!("call instructions are preceded by a frame-size word")
+        };
+        let ra = CodeAddr::new(self.chunk_id, self.pc as u32);
+        let dh = dh as u16;
+        self.stack.set(dh as usize + 1, handler.clone());
+        self.stack.call(dh as usize, ra, 1, true)?;
+        match self.enter_pushed(handler, 0)? {
+            None => Ok(true),
+            Some(_) => Err(SchemeError::runtime(
+                "timer handler exited through a dead continuation",
+            )),
+        }
+    }
+
+    /// `(stack-frames [limit])`: names of the pending procedures, walking
+    /// the live control state (innermost first).
+    fn stack_frames(&mut self, limit: Option<Value>) -> Result<Value, SchemeError> {
+        let limit = match limit {
+            Some(v) => usize::try_from(v.as_fixnum()?)
+                .map_err(|_| SchemeError::runtime("stack-frames: negative limit"))?,
+            None => 64,
+        };
+        let names = self
+            .stack
+            .backtrace(limit)
+            .into_iter()
+            .map(|ra| Value::Sym(Symbol::intern(&self.store.chunk(ra.chunk()).name)))
+            .collect::<Vec<_>>();
+        Ok(Value::list(names))
+    }
+
+    /// Arity message helper.
+    fn arity_error(&self, who: &str, want: String, got: u16) -> SchemeError {
+        SchemeError::runtime(format!("{who}: expected {want} arguments, got {got}"))
+    }
+
+    /// Adjusts a variadic call's staged arguments in place: collects the
+    /// extras into a rest list at `argbase + required`. Returns the
+    /// effective argument count.
+    fn adjust_arity(
+        &mut self,
+        c: &Closure,
+        argbase: usize,
+        nargs: u16,
+    ) -> Result<u16, SchemeError> {
+        let name =
+            c.name.map(|s| s.as_str()).unwrap_or_else(|| "procedure".into());
+        if c.variadic {
+            let required = c.nparams - 1;
+            if nargs < required {
+                return Err(self.arity_error(&name, format!("at least {required}"), nargs));
+            }
+            let rest = Value::list(
+                (required..nargs).map(|j| self.stack.get(argbase + j as usize)),
+            );
+            self.stack.set(argbase + required as usize, rest);
+            Ok(c.nparams)
+        } else if nargs != c.nparams {
+            Err(self.arity_error(&name, format!("{}", c.nparams), nargs))
+        } else {
+            Ok(nargs)
+        }
+    }
+
+    fn check_prim_arity(&self, p: Primitive, nargs: u16) -> Result<(), SchemeError> {
+        let def = def_of(p);
+        let n = nargs as usize;
+        if n < def.min_args || def.max_args.is_some_and(|m| n > m) {
+            let want = match def.max_args {
+                Some(m) if m == def.min_args => format!("{m}"),
+                Some(m) => format!("{} to {m}", def.min_args),
+                None => format!("at least {}", def.min_args),
+            };
+            return Err(self.arity_error(def.name, want, nargs));
+        }
+        Ok(())
+    }
+
+    /// Runs a normal primitive on arguments staged at `argbase..`.
+    fn run_primitive(
+        &mut self,
+        p: Primitive,
+        argbase: usize,
+        nargs: u16,
+    ) -> Result<Value, SchemeError> {
+        self.check_prim_arity(p, nargs)?;
+        let PrimKind::Normal(f) = &def_of(p).kind else {
+            unreachable!("special primitives are dispatched before run_primitive")
+        };
+        let args: Vec<Value> =
+            (0..nargs as usize).map(|j| self.stack.get(argbase + j)).collect();
+        // Primitives are leaf routines: no frame, no overflow check (§5).
+        self.stack.metrics_mut().checks_elided += 1;
+        f(&mut PrimCtx { out: self.out }, &args)
+    }
+
+    /// Collects `apply`'s spread arguments: explicit middles plus the final
+    /// list, staged starting at `dst`.
+    fn spread_apply(
+        &mut self,
+        argbase: usize,
+        nargs: u16,
+        dst: usize,
+    ) -> Result<(Value, u16), SchemeError> {
+        let f = self.stack.get(argbase);
+        let mut spread: Vec<Value> =
+            (1..nargs as usize - 1).map(|j| self.stack.get(argbase + j)).collect();
+        let last = self.stack.get(argbase + nargs as usize - 1);
+        spread.extend(last.list_to_vec().map_err(|_| {
+            SchemeError::runtime(format!("apply: last argument must be a proper list, got {last}"))
+        })?);
+        if spread.len() + 2 > self.opts.frame_bound {
+            return Err(SchemeError::runtime(format!(
+                "apply: {} arguments exceed the frame bound of {}",
+                spread.len(),
+                self.opts.frame_bound
+            )));
+        }
+        let n = spread.len() as u16;
+        for (j, v) in spread.into_iter().enumerate() {
+            self.stack.set(dst + j, v);
+        }
+        Ok((f, n))
+    }
+
+    /// Dispatches a non-tail call whose operator is `op` and whose partial
+    /// frame is staged at displacement `d`.
+    fn call_with_op(
+        &mut self,
+        op: Value,
+        d: u16,
+        nargs: u16,
+        check: bool,
+    ) -> Result<Option<Value>, SchemeError> {
+        let ret = CodeAddr::new(self.chunk_id, self.pc as u32 + 2);
+        match op {
+            Value::Closure(c) => {
+                let eff = self.adjust_arity(&c, d as usize + 2, nargs)?;
+                self.stack.call(d as usize, ret, 1 + eff as usize, check)?;
+                self.enter_chunk(c.chunk);
+                Ok(None)
+            }
+            Value::Primitive(p) => match def_of(p).kind {
+                PrimKind::Normal(_) => {
+                    self.acc = self.run_primitive(p, d as usize + 2, nargs)?;
+                    self.pc += 2;
+                    Ok(None)
+                }
+                PrimKind::CallCC => {
+                    self.check_prim_arity(p, nargs)?;
+                    let f = self.stack.get(d as usize + 2);
+                    self.stack.set(d as usize + 1, f.clone());
+                    self.stack.call(d as usize, ret, 1, check)?;
+                    let k = self.stack.capture();
+                    self.stack.set(2, Value::Kont(k));
+                    self.enter_pushed(f, 1)
+                }
+                PrimKind::Apply => {
+                    self.check_prim_arity(p, nargs)?;
+                    let (f, n) = self.spread_apply(d as usize + 2, nargs, d as usize + 2)?;
+                    self.stack.set(d as usize + 1, f.clone());
+                    self.call_with_op(f, d, n, check)
+                }
+                PrimKind::SetTimer => {
+                    self.check_prim_arity(p, nargs)?;
+                    let ticks = self.stack.get(d as usize + 2).as_fixnum()?;
+                    self.acc = Value::Fixnum(self.timer.fuel.max(0));
+                    self.timer.fuel = ticks;
+                    self.pc += 2;
+                    Ok(None)
+                }
+                PrimKind::SetTimerHandler => {
+                    self.check_prim_arity(p, nargs)?;
+                    self.timer.handler = self.stack.get(d as usize + 2);
+                    self.acc = Value::Unspecified;
+                    self.pc += 2;
+                    Ok(None)
+                }
+                PrimKind::StackFrames => {
+                    self.check_prim_arity(p, nargs)?;
+                    self.acc = self.stack_frames(if nargs == 1 {
+                        Some(self.stack.get(d as usize + 2))
+                    } else {
+                        None
+                    })?;
+                    self.pc += 2;
+                    Ok(None)
+                }
+                PrimKind::Eval => {
+                    self.check_prim_arity(p, nargs)?;
+                    let datum = self.stack.get(d as usize + 2);
+                    let entry = compile_toplevel(
+                        &datum,
+                        self.expander,
+                        self.store,
+                        self.globals,
+                        self.copts,
+                    )?;
+                    // Run the fresh chunk like a 0-parameter procedure: the
+                    // frame is already staged (slot d+1 held the eval
+                    // primitive; toplevel chunks never read their slot 1).
+                    self.stack.call(d as usize, ret, 1, check)?;
+                    self.enter_chunk(entry);
+                    Ok(None)
+                }
+            },
+            Value::Kont(k) => {
+                if nargs != 1 {
+                    return Err(self.arity_error("continuation", "1".into(), nargs));
+                }
+                let v = self.stack.get(d as usize + 2);
+                match self.stack.reinstate(&k)? {
+                    ReturnAddress::Code(r) => {
+                        self.acc = v;
+                        self.jump(r);
+                        Ok(None)
+                    }
+                    ReturnAddress::Exit => Ok(Some(v)),
+                    ReturnAddress::Underflow => unreachable!(),
+                }
+            }
+            other => Err(SchemeError::runtime(format!(
+                "attempt to apply non-procedure {other}"
+            ))),
+        }
+    }
+
+    /// Continues into procedure `f` whose frame has already been pushed
+    /// (slot 1 = `f`, arguments at 2..). Used by `call/cc` and the timer.
+    /// `Some(value)` means the computation halted (an exit continuation).
+    fn enter_pushed(&mut self, f: Value, nargs: u16) -> Result<Option<Value>, SchemeError> {
+        match f {
+            Value::Closure(c) => {
+                self.adjust_arity(&c, 2, nargs)?;
+                self.enter_chunk(c.chunk);
+                Ok(None)
+            }
+            Value::Primitive(p) => match def_of(p).kind {
+                PrimKind::Normal(_) => {
+                    self.acc = self.run_primitive(p, 2, nargs)?;
+                    self.do_return()
+                }
+                _ => Err(SchemeError::runtime(
+                    "call/cc of a special primitive is not supported",
+                )),
+            },
+            Value::Kont(k) => {
+                let v = self.stack.get(2);
+                match self.stack.reinstate(&k)? {
+                    ReturnAddress::Code(r) => {
+                        self.acc = v;
+                        self.jump(r);
+                        Ok(None)
+                    }
+                    ReturnAddress::Exit => Ok(Some(v)),
+                    ReturnAddress::Underflow => unreachable!(),
+                }
+            }
+            other => {
+                Err(SchemeError::runtime(format!("attempt to apply non-procedure {other}")))
+            }
+        }
+    }
+
+    /// Dispatches a tail call whose operator is staged at `src`.
+    fn tail_with_op(
+        &mut self,
+        op: Value,
+        src: u16,
+        nargs: u16,
+    ) -> Result<Option<Value>, SchemeError> {
+        match op {
+            Value::Closure(c) => {
+                let eff = self.adjust_arity(&c, src as usize + 1, nargs)?;
+                self.stack.tail_call(src as usize, 1 + eff as usize);
+                self.enter_chunk(c.chunk);
+                Ok(None)
+            }
+            Value::Primitive(p) => match def_of(p).kind {
+                PrimKind::Normal(_) => {
+                    self.acc = self.run_primitive(p, src as usize + 1, nargs)?;
+                    self.do_return()
+                }
+                PrimKind::CallCC => {
+                    self.check_prim_arity(p, nargs)?;
+                    // Capture first: the continuation of a tail call/cc is
+                    // the current frame's own continuation. On an empty
+                    // segment this reuses the link (the looper rule).
+                    let k = self.stack.capture();
+                    let f = self.stack.get(src as usize + 1);
+                    self.stack.set(src as usize + 1, f.clone());
+                    self.stack.set(src as usize + 2, Value::Kont(k));
+                    // Re-dispatch as (f k) in tail position with the
+                    // operator staged one slot higher.
+                    self.retail(f, src + 1, 1)
+                }
+                PrimKind::Apply => {
+                    self.check_prim_arity(p, nargs)?;
+                    let (f, n) = self.spread_apply(src as usize + 1, nargs, src as usize + 1)?;
+                    self.stack.set(src as usize, f.clone());
+                    self.tail_with_op(f, src, n)
+                }
+                PrimKind::SetTimer => {
+                    self.check_prim_arity(p, nargs)?;
+                    let ticks = self.stack.get(src as usize + 1).as_fixnum()?;
+                    self.acc = Value::Fixnum(self.timer.fuel.max(0));
+                    self.timer.fuel = ticks;
+                    self.do_return()
+                }
+                PrimKind::SetTimerHandler => {
+                    self.check_prim_arity(p, nargs)?;
+                    self.timer.handler = self.stack.get(src as usize + 1);
+                    self.acc = Value::Unspecified;
+                    self.do_return()
+                }
+                PrimKind::StackFrames => {
+                    self.check_prim_arity(p, nargs)?;
+                    self.acc = self.stack_frames(if nargs == 1 {
+                        Some(self.stack.get(src as usize + 1))
+                    } else {
+                        None
+                    })?;
+                    self.do_return()
+                }
+                PrimKind::Eval => {
+                    self.check_prim_arity(p, nargs)?;
+                    let datum = self.stack.get(src as usize + 1);
+                    let entry = compile_toplevel(
+                        &datum,
+                        self.expander,
+                        self.store,
+                        self.globals,
+                        self.copts,
+                    )?;
+                    self.stack.tail_call(src as usize, 1);
+                    self.enter_chunk(entry);
+                    Ok(None)
+                }
+            },
+            Value::Kont(k) => {
+                if nargs != 1 {
+                    return Err(self.arity_error("continuation", "1".into(), nargs));
+                }
+                let v = self.stack.get(src as usize + 1);
+                match self.stack.reinstate(&k)? {
+                    ReturnAddress::Code(r) => {
+                        self.acc = v;
+                        self.jump(r);
+                        Ok(None)
+                    }
+                    ReturnAddress::Exit => Ok(Some(v)),
+                    ReturnAddress::Underflow => unreachable!(),
+                }
+            }
+            other => Err(SchemeError::runtime(format!(
+                "attempt to apply non-procedure {other}"
+            ))),
+        }
+    }
+
+    /// Tail re-dispatch after `call/cc` restaging: the operator now sits at
+    /// `src` with `nargs` arguments above it.
+    fn retail(&mut self, f: Value, src: u16, nargs: u16) -> Result<Option<Value>, SchemeError> {
+        match f {
+            Value::Closure(_) | Value::Kont(_) | Value::Primitive(_) => {
+                self.tail_with_op(f, src, nargs)
+            }
+            other => Err(SchemeError::runtime(format!(
+                "attempt to apply non-procedure {other}"
+            ))),
+        }
+    }
+}
+
+/// Sanity check used by the primitive table: the VM assumes `PRIMITIVES`
+/// fits in the `u16` index space.
+const _: () = assert!(PRIMITIVES.len() < u16::MAX as usize);

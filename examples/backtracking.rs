@@ -1,0 +1,49 @@
+//! Nonblind backtracking with `amb`: the n-queens puzzle.
+//!
+//! `choose` captures a continuation at each choice point; `amb-require`
+//! invokes the most recent failure continuation, unwinding to the last
+//! choice and resuming it with the next alternative — Sussman & Steele's
+//! nonblind backtracking, reference [16] of the paper.
+//!
+//! Run with `cargo run --example backtracking`.
+
+use segstack::baselines::Strategy;
+use segstack::control::Control;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kit = Control::new(Strategy::Segmented)?;
+
+    println!("== n-queens solution counts ==");
+    for n in 4..=8 {
+        let count = kit.queens_count(n)?;
+        println!("{n}-queens: {count} solutions");
+    }
+
+    println!("\n== one 6-queens board ==");
+    let board = kit.eval("(car (queens 6))")?;
+    let rows = board.list_to_vec()?;
+    for r in 0..rows.len() {
+        let row: Vec<&str> = rows
+            .iter()
+            .map(|q| if q.to_string() == r.to_string() { "Q" } else { "." })
+            .collect();
+        println!("{}", row.join(" "));
+    }
+
+    println!("\n== pythagorean triples via choose ==");
+    let v = kit.eval(
+        "(amb-collect (lambda ()
+           (let ((a (choose (iota 20))) (b (choose (iota 20))) (c (choose (iota 20))))
+             (amb-require (and (< 0 a) (< a b) (< b c)))
+             (amb-require (= (+ (* a a) (* b b)) (* c c)))
+             (list a b c))))",
+    )?;
+    println!("{v}");
+
+    let m = kit.metrics();
+    println!(
+        "\ncontrol-stack work: captures={}, reinstatements={}",
+        m.captures, m.reinstatements
+    );
+    Ok(())
+}

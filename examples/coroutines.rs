@@ -1,0 +1,46 @@
+//! Coroutines from continuations: same-fringe and producer/consumer.
+//!
+//! The same-fringe problem — do two trees hold the same leaves in the same
+//! order? — is the classic demonstration of why coroutines need first-class
+//! control: each tree walk suspends mid-recursion, with its whole stack
+//! captured, every time it yields a leaf.
+//!
+//! Run with `cargo run --example coroutines`.
+
+use segstack::baselines::Strategy;
+use segstack::control::Control;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kit = Control::new(Strategy::Segmented)?;
+
+    println!("== same fringe ==");
+    for (t1, t2) in [
+        ("'((1 2) (3 (4 5)))", "'(1 (2 3) ((4) 5))"),
+        ("'((1 2) (3 (4 5)))", "'(1 (2 3) ((4) 6))"),
+        ("'(1 2 3)", "'(1 2 3 4)"),
+    ] {
+        let same = kit.same_fringe(t1, t2)?;
+        println!("{t1:28} vs {t2:24} => {same}");
+    }
+
+    println!("\n== producer/consumer ping-pong ==");
+    let rounds = 10_000;
+    let v = kit.coroutine_pingpong(rounds)?;
+    println!("{rounds} control transfers, final counter = {v}");
+    let m = kit.metrics();
+    println!(
+        "captures: {}, reinstatements: {}, slots copied: {}",
+        m.captures, m.reinstatements, m.slots_copied
+    );
+
+    println!("\n== infinite generators, lazily consumed ==");
+    let squares = kit.eval(
+        "(generator-take
+           (generator-map (lambda (x) (* x x))
+             (generator-filter odd? (integers-from 1)))
+           8)",
+    )?;
+    println!("first 8 odd squares: {squares}");
+
+    Ok(())
+}

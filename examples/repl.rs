@@ -1,0 +1,145 @@
+//! A read-eval-print loop over any control-stack strategy.
+//!
+//! Run with `cargo run --example repl [-- strategy]` where strategy is one
+//! of segmented (default), heap, copy, cache, hybrid. Incomplete
+//! expressions continue on the next line. Commands:
+//!
+//! * `,metrics` — control-stack operation counters
+//! * `,reset`   — zero the counters
+//! * `,stats`   — structural stack snapshot
+//! * `,dis`     — disassemble the last compiled chunk
+//! * `,quit`    — exit
+
+use std::io::{BufRead, Write};
+
+use segstack::baselines::Strategy;
+use segstack::scheme::Engine;
+
+/// Counts unbalanced parentheses, ignoring strings, comments and
+/// character literals, so multi-line expressions can be continued.
+fn paren_balance(src: &str) -> i32 {
+    let mut depth = 0i32;
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '"' => {
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => {
+                            chars.next();
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            }
+            '#'
+                if chars.peek() == Some(&'\\') => {
+                    chars.next();
+                    chars.next(); // the literal character, even if a paren
+                }
+            _ => {}
+        }
+    }
+    depth
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let strategy: Strategy = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(Strategy::Segmented);
+    let mut engine = Engine::with_strategy(strategy)?;
+    println!("segstack Scheme — strategy: {strategy}. ,metrics ,stats ,dis [name] ,quit");
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let mut pending = String::new();
+    loop {
+        print!("{}", if pending.is_empty() { "> " } else { "  " });
+        std::io::stdout().flush()?;
+        let Some(line) = lines.next() else { break };
+        let line = line?;
+        if pending.is_empty() {
+            match line.trim() {
+                "" => continue,
+                ",quit" | ",q" => break,
+                ",metrics" => {
+                    println!("{}", engine.metrics());
+                    continue;
+                }
+                ",reset" => {
+                    engine.reset_metrics();
+                    continue;
+                }
+                ",stats" => {
+                    println!("{:?}", engine.stack_stats());
+                    continue;
+                }
+                ",dis" => {
+                    if engine.chunk_count() > 0 {
+                        println!("{}", engine.disassemble_last());
+                    } else {
+                        println!("nothing compiled yet");
+                    }
+                    continue;
+                }
+                cmd if cmd.starts_with(",dis ") => {
+                    let name = cmd[5..].trim();
+                    match engine.disassemble_global(name) {
+                        Some(listing) => println!("{listing}"),
+                        None => println!("{name} is not bound to a compiled procedure"),
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending.push_str(&line);
+        pending.push('\n');
+        if paren_balance(&pending) > 0 {
+            continue; // read more lines
+        }
+        let src = std::mem::take(&mut pending);
+        match engine.eval(&src) {
+            Ok(v) => {
+                let out = engine.take_output();
+                if !out.is_empty() {
+                    print!("{out}");
+                    if !out.ends_with('\n') {
+                        println!();
+                    }
+                }
+                println!("{v}");
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::paren_balance;
+
+    #[test]
+    fn balance_counts_ignore_strings_comments_chars() {
+        assert_eq!(paren_balance("(+ 1 2)"), 0);
+        assert_eq!(paren_balance("(define (f x)"), 2);
+        assert_eq!(paren_balance("\"(((\""), 0);
+        assert_eq!(paren_balance("; (((\n()"), 0);
+        assert_eq!(paren_balance("#\\( "), 0);
+        assert_eq!(paren_balance("(display \"a)b\")"), 0);
+        assert_eq!(paren_balance("[( ])"), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # segstack
+//!
+//! A from-scratch reproduction of **Representing Control in the Presence of
+//! First-Class Continuations** (Robert Hieb, R. Kent Dybvig, Carl
+//! Bruggeman — PLDI 1990): the segmented-stack representation of control
+//! that gives O(1) continuation capture, bounded-cost reinstatement, and
+//! graceful stack overflow/underflow recovery, as adopted by Chez Scheme.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`core`] (`segstack-core`) — the paper's segmented control stack:
+//!   stack segments and records, code-stream frame-size words, the stack
+//!   walker, capture/reinstate with splitting, overflow as implicit
+//!   capture.
+//! * [`baselines`] (`segstack-baselines`) — the five strategies the paper
+//!   compares against: heap, naive copy, stack cache (Bartley–Jensen), and
+//!   Clinger et al.'s hybrid and incremental stack/heap models.
+//! * [`scheme`] (`segstack-scheme`) — a complete Scheme system (reader,
+//!   compiler, bytecode VM) parameterised over any control-stack strategy.
+//! * [`control`] (`segstack-control`) — coroutines, generators, engines and
+//!   `amb`, built from `call/cc`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use segstack::scheme::Engine;
+//! use segstack::baselines::Strategy;
+//!
+//! // A Scheme engine running on the paper's segmented stack.
+//! let mut engine = Engine::with_strategy(Strategy::Segmented)?;
+//! let v = engine.eval("(+ 1 (call/cc (lambda (k) (k 41))))")?;
+//! assert_eq!(v.to_string(), "42");
+//!
+//! // Capture is O(1): no slots are copied.
+//! engine.reset_metrics();
+//! engine.eval("(define (deep n) (if (= n 0) (call/cc (lambda (k) k)) (deep (- n 1))))
+//!              (deep 100)")?;
+//! assert!(engine.metrics().captures >= 1);
+//! # Ok::<(), segstack::scheme::SchemeError>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every experiment.
+
+#![forbid(unsafe_code)]
+
+pub use segstack_baselines as baselines;
+pub use segstack_control as control;
+pub use segstack_core as core;
+pub use segstack_scheme as scheme;

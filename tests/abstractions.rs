@@ -1,0 +1,201 @@
+//! Cross-crate integration: the control abstractions (coroutines,
+//! generators, engines, amb) running over every control-stack strategy,
+//! including stressed configurations.
+
+use segstack::baselines::Strategy;
+use segstack::control::Control;
+use segstack::core::Config;
+use segstack::scheme::CheckPolicy;
+
+fn stressed() -> Config {
+    Config::builder()
+        .segment_slots(384)
+        .frame_bound(48)
+        .copy_bound(24)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn same_fringe_everywhere() {
+    for s in Strategy::ALL {
+        let mut kit = Control::new(s).unwrap();
+        assert!(kit.same_fringe("'((a (b)) c)", "'(a (b (c)))").unwrap(), "{s}");
+        assert!(!kit.same_fringe("'((a (b)) c)", "'(a (x (c)))").unwrap(), "{s}");
+    }
+}
+
+#[test]
+fn generators_everywhere() {
+    for s in Strategy::ALL {
+        let mut kit = Control::new(s).unwrap();
+        let v = kit
+            .eval("(generator-take (generator-map (lambda (x) (* 2 x)) (integers-from 5)) 3)")
+            .unwrap();
+        assert_eq!(v.to_string(), "(10 12 14)", "{s}");
+    }
+}
+
+#[test]
+fn engines_everywhere() {
+    for s in Strategy::ALL {
+        let mut kit = Control::new(s).unwrap();
+        let order = kit.round_robin_countdowns(3, 400, 75).unwrap();
+        assert_eq!(order, vec![0, 1, 2], "{s}");
+    }
+}
+
+#[test]
+fn queens_everywhere() {
+    for s in Strategy::ALL {
+        let mut kit = Control::new(s).unwrap();
+        assert_eq!(kit.queens_count(6).unwrap(), 4, "{s}");
+    }
+}
+
+#[test]
+fn abstractions_survive_stressed_configuration() {
+    for s in Strategy::ALL {
+        let mut kit = Control::with_config(s, stressed(), CheckPolicy::Elide).unwrap();
+        assert!(kit.same_fringe("'(1 (2 (3 (4))))", "'((((1) 2) 3) 4)").unwrap(), "{s}");
+        assert_eq!(kit.queens_count(5).unwrap(), 10, "{s}");
+        assert_eq!(kit.coroutine_pingpong(200).unwrap(), 200, "{s}");
+        assert_eq!(kit.ctak(9, 6, 3).unwrap(), 6, "{s}");
+    }
+}
+
+#[test]
+fn engines_interleave_under_stress() {
+    for s in [Strategy::Segmented, Strategy::Heap] {
+        let mut kit = Control::with_config(s, stressed(), CheckPolicy::Always).unwrap();
+        // Shortest job finishes first even when submitted last.
+        let v = kit
+            .eval(
+                "(round-robin
+                   (list (make-engine (lambda () (let loop ((i 900)) (if (= i 0) 'a (loop (- i 1))))))
+                         (make-engine (lambda () (let loop ((i 500)) (if (= i 0) 'b (loop (- i 1))))))
+                         (make-engine (lambda () (let loop ((i 100)) (if (= i 0) 'c (loop (- i 1)))))))
+                   60)",
+            )
+            .unwrap();
+        assert_eq!(v.to_string(), "(c b a)", "{s}");
+    }
+}
+
+#[test]
+fn amb_backtracking_is_deterministic_across_strategies() {
+    let mut reference: Option<String> = None;
+    for s in Strategy::ALL {
+        let mut kit = Control::new(s).unwrap();
+        let v = kit
+            .eval(
+                "(amb-collect (lambda ()
+                   (let ((x (choose '(1 2 3 4))) (y (choose '(1 2 3 4))))
+                     (amb-require (< x y))
+                     (amb-require (even? (+ x y)))
+                     (list x y))))",
+            )
+            .unwrap()
+            .to_string();
+        match &reference {
+            None => reference = Some(v),
+            Some(r) => assert_eq!(&v, r, "{s}"),
+        }
+    }
+    assert_eq!(reference.unwrap(), "((1 3) (2 4))");
+}
+
+#[test]
+fn coroutine_metrics_show_capture_costs_differ() {
+    // Same workload, different cost shapes: the segmented kit captures
+    // without copying; the naive copy kit copies stack images per transfer.
+    let run = |s: Strategy| {
+        let mut kit = Control::new(s).unwrap();
+        kit.engine().reset_metrics();
+        kit.coroutine_pingpong(500).unwrap();
+        let m = kit.metrics();
+        (m.captures, m.slots_copied)
+    };
+    let (seg_caps, seg_copied) = run(Strategy::Segmented);
+    let (copy_caps, copy_copied) = run(Strategy::Copy);
+    assert_eq!(seg_caps, copy_caps, "identical workloads");
+    assert!(
+        copy_copied > seg_copied,
+        "copy model should copy more (copy={copy_copied}, segmented={seg_copied})"
+    );
+}
+
+#[test]
+fn threads_and_amb_compose() {
+    // Two threads each solving a different queens instance via amb: the
+    // amb machinery (global failure continuation) is swapped cooperatively.
+    // NOTE: amb state is global, so each thread must run its search without
+    // yielding mid-search; the scheduler still interleaves between
+    // searches via thread-yield.
+    let mut kit = Control::new(Strategy::Segmented).unwrap();
+    let results = kit
+        .eval(
+            "(begin
+               (spawn (lambda () (let ((n (queens-count 5))) (thread-yield) n)))
+               (spawn (lambda () (let ((n (queens-count 4))) (thread-yield) n)))
+               (run-threads 1000000))",
+        )
+        .unwrap();
+    assert_eq!(results.to_string(), "((1 . 10) (2 . 2))");
+}
+
+#[test]
+fn dynamic_wind_tracks_engine_preemption_boundaries() {
+    // dynamic-wind inside an engine: every preemption jumps *out* of the
+    // wind extent (the scheduler runs outside it) and every resumption
+    // jumps back *in*, so the rerooting call/cc fires the after/before
+    // thunks once per quantum — the R5RS-correct composition of winders
+    // with engines.
+    let mut kit = Control::new(Strategy::Segmented).unwrap();
+    let v = kit
+        .eval(
+            "(define enters 0)
+             (define leaves 0)
+             (define result
+               (engine-run-to-completion
+                 (make-engine
+                   (lambda ()
+                     (dynamic-wind
+                       (lambda () (set! enters (+ enters 1)))
+                       (lambda () (let loop ((i 2000)) (if (= i 0) 'body-done (loop (- i 1)))))
+                       (lambda () (set! leaves (+ leaves 1))))))
+                 150))
+             (list (car result)
+                   (> (cdr result) 3)
+                   (= enters leaves)
+                   (= enters (cdr result)))",
+        )
+        .unwrap();
+    // One enter/leave pair per quantum: expiry leaves the extent, the next
+    // quantum re-enters it.
+    assert_eq!(v.to_string(), "(body-done #t #t #t)");
+}
+
+#[test]
+fn generators_inside_threads() {
+    let mut kit = Control::new(Strategy::Segmented).unwrap();
+    let v = kit
+        .eval(
+            "(begin
+               (spawn (lambda () (generator-take (integers-from 0) 5)))
+               (spawn (lambda () (generator-take (integers-from 100) 3)))
+               (map cdr (run-threads 400)))",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "((0 1 2 3 4) (100 101 102))");
+}
+
+#[test]
+fn eval_file_loads_programs() {
+    use segstack::scheme::Engine;
+    let mut e = Engine::builder().max_steps(200_000_000).build().unwrap();
+    let v = e.eval_file(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/programs/ctak.scm")).unwrap();
+    assert_eq!(v.to_string(), "5");
+    let err = e.eval_file("/nonexistent/path.scm").unwrap_err().to_string();
+    assert!(err.contains("cannot load"), "{err}");
+}

@@ -1,0 +1,352 @@
+//! R3RS-flavoured conformance checks, ported from the report's examples.
+//!
+//! Each case is an (expression, expected-printed-value) pair evaluated on
+//! the segmented stack; a closing sweep re-runs the whole battery on every
+//! other strategy to pin down any divergence to a specific case.
+
+use segstack::baselines::Strategy;
+use segstack::scheme::Engine;
+
+/// The battery: expression and expected `write`-style result.
+const CASES: &[(&str, &str)] = &[
+    // 4.1 primitive expression types
+    ("(quote a)", "a"),
+    ("(quote #(a b c))", "#(a b c)"),
+    ("(quote (+ 1 2))", "(+ 1 2)"),
+    ("'\"abc\"", "\"abc\""),
+    ("'145932", "145932"),
+    ("(if (> 3 2) 'yes 'no)", "yes"),
+    ("(if (> 2 3) 'yes 'no)", "no"),
+    ("(if (> 3 2) (- 3 2) (+ 3 2))", "1"),
+    // 4.2 derived expression types
+    ("(cond ((> 3 2) 'greater) ((< 3 2) 'less))", "greater"),
+    ("(cond ((> 3 3) 'greater) ((< 3 3) 'less) (else 'equal))", "equal"),
+    ("(case (* 2 3) ((2 3 5 7) 'prime) ((1 4 6 8 9) 'composite))", "composite"),
+    ("(case (car '(c d)) ((a) 'a) ((b) 'b) (else 'other))", "other"),
+    ("(and (= 2 2) (> 2 1))", "#t"),
+    ("(and (= 2 2) (< 2 1))", "#f"),
+    ("(and 1 2 'c '(f g))", "(f g)"),
+    ("(or (= 2 2) (> 2 1))", "#t"),
+    ("(or #f #f #f)", "#f"),
+    ("(or (memq 'b '(a b c)) (/ 3 0))", "(b c)"),
+    ("(let ((x 2) (y 3)) (* x y))", "6"),
+    ("(let ((x 2) (y 3)) (let ((x 7) (z (+ x y))) (* z x)))", "35"),
+    ("(let ((x 2) (y 3)) (let* ((x 7) (z (+ x y))) (* z x)))", "70"),
+    (
+        "(letrec ((even? (lambda (n) (if (zero? n) #t (odd? (- n 1)))))
+                  (odd? (lambda (n) (if (zero? n) #f (even? (- n 1))))))
+           (even? 88))",
+        "#t",
+    ),
+    (
+        "(define x 0)
+         (begin (set! x 5) (+ x 1))",
+        "6",
+    ),
+    (
+        "(do ((vec (make-vector 5)) (i 0 (+ i 1))) ((= i 5) vec) (vector-set! vec i i))",
+        "#(0 1 2 3 4)",
+    ),
+    (
+        "(let loop ((numbers '(3 -2 1 6 -5)) (nonneg '()) (neg '()))
+           (cond ((null? numbers) (list nonneg neg))
+                 ((>= (car numbers) 0)
+                  (loop (cdr numbers) (cons (car numbers) nonneg) neg))
+                 (else (loop (cdr numbers) nonneg (cons (car numbers) neg)))))",
+        "((6 1 3) (-5 -2))",
+    ),
+    // 6.1 booleans
+    ("(not #t)", "#f"),
+    ("(not 3)", "#f"),
+    ("(not (list 3))", "#f"),
+    ("(not '())", "#f"),
+    // 6.2 equivalence predicates
+    ("(eqv? 'a 'a)", "#t"),
+    ("(eqv? 'a 'b)", "#f"),
+    ("(eqv? 2 2)", "#t"),
+    ("(eqv? '() '())", "#t"),
+    ("(eqv? 100000000 100000000)", "#t"),
+    ("(eqv? (cons 1 2) (cons 1 2))", "#f"),
+    ("(eqv? (lambda () 1) (lambda () 2))", "#f"),
+    ("(eqv? #f 'nil)", "#f"),
+    ("(let ((p (lambda (x) x))) (eqv? p p))", "#t"),
+    ("(eq? 'a 'a)", "#t"),
+    ("(eq? (list 'a) (list 'a))", "#f"),
+    ("(eq? '() '())", "#t"),
+    ("(eq? car car)", "#t"),
+    ("(let ((x '(a))) (eq? x x))", "#t"),
+    ("(equal? 'a 'a)", "#t"),
+    ("(equal? '(a) '(a))", "#t"),
+    ("(equal? '(a (b) c) '(a (b) c))", "#t"),
+    ("(equal? \"abc\" \"abc\")", "#t"),
+    ("(equal? 2 2)", "#t"),
+    ("(equal? (make-vector 5 'a) (make-vector 5 'a))", "#t"),
+    // 6.3 pairs and lists
+    ("(define x (list 'a 'b 'c)) (define y x) (list? y)", "#t"),
+    ("(define x (list 'a 'b 'c)) (set-cdr! x 4) x", "(a . 4)"),
+    ("(pair? '(a . b))", "#t"),
+    ("(pair? '(a b c))", "#t"),
+    ("(pair? '())", "#f"),
+    ("(pair? '#(a b))", "#f"),
+    ("(cons 'a '())", "(a)"),
+    ("(cons '(a) '(b c d))", "((a) b c d)"),
+    ("(cons \"a\" '(b c))", "(\"a\" b c)"),
+    ("(cons 'a 3)", "(a . 3)"),
+    ("(cons '(a b) 'c)", "((a b) . c)"),
+    ("(car '(a b c))", "a"),
+    ("(car '((a) b c d))", "(a)"),
+    ("(car '(1 . 2))", "1"),
+    ("(cdr '((a) b c d))", "(b c d)"),
+    ("(cdr '(1 . 2))", "2"),
+    ("(list 'a (+ 3 4) 'c)", "(a 7 c)"),
+    ("(list)", "()"),
+    ("(length '(a b c))", "3"),
+    ("(length '(a (b) (c d e)))", "3"),
+    ("(length '())", "0"),
+    ("(append '(x) '(y))", "(x y)"),
+    ("(append '(a) '(b c d))", "(a b c d)"),
+    ("(append '(a (b)) '((c)))", "(a (b) (c))"),
+    ("(append '(a b) '(c . d))", "(a b c . d)"),
+    ("(append '() 'a)", "a"),
+    ("(reverse '(a b c))", "(c b a)"),
+    ("(reverse '(a (b c) d (e (f))))", "((e (f)) d (b c) a)"),
+    ("(list-ref '(a b c d) 2)", "c"),
+    ("(memq 'a '(a b c))", "(a b c)"),
+    ("(memq 'b '(a b c))", "(b c)"),
+    ("(memq 'a '(b c d))", "#f"),
+    ("(memq (list 'a) '(b (a) c))", "#f"),
+    ("(member (list 'a) '(b (a) c))", "((a) c)"),
+    ("(memv 101 '(100 101 102))", "(101 102)"),
+    ("(assq 'a '((a 1) (b 2) (c 3)))", "(a 1)"),
+    ("(assq 'b '((a 1) (b 2) (c 3)))", "(b 2)"),
+    ("(assq 'd '((a 1) (b 2) (c 3)))", "#f"),
+    ("(assq (list 'a) '(((a)) ((b)) ((c))))", "#f"),
+    ("(assoc (list 'a) '(((a)) ((b)) ((c))))", "((a))"),
+    ("(assv 5 '((2 3) (5 7) (11 13)))", "(5 7)"),
+    // 6.4 symbols
+    ("(symbol? 'foo)", "#t"),
+    ("(symbol? (car '(a b)))", "#t"),
+    ("(symbol? \"bar\")", "#f"),
+    ("(symbol? 'nil)", "#t"),
+    ("(symbol? '())", "#f"),
+    ("(symbol? #f)", "#f"),
+    ("(symbol->string 'flying-fish)", "\"flying-fish\""),
+    ("(eq? 'mISSISSIppi 'mISSISSIppi)", "#t"),
+    ("(eq? 'bitBlt (string->symbol \"bitBlt\"))", "#t"),
+    ("(eq? 'JollyWog (string->symbol (symbol->string 'JollyWog)))", "#t"),
+    // 6.5 numbers
+    ("(max 3 4)", "4"),
+    ("(max 3.9 4)", "4.0"),
+    ("(+ 3 4)", "7"),
+    ("(+ 3)", "3"),
+    ("(+)", "0"),
+    ("(* 4)", "4"),
+    ("(*)", "1"),
+    ("(- 3 4)", "-1"),
+    ("(- 3 4 5)", "-6"),
+    ("(- 3)", "-3"),
+    ("(abs -7)", "7"),
+    ("(modulo 13 4)", "1"),
+    ("(remainder 13 4)", "1"),
+    ("(modulo -13 4)", "3"),
+    ("(remainder -13 4)", "-1"),
+    ("(modulo 13 -4)", "-3"),
+    ("(remainder 13 -4)", "1"),
+    ("(modulo -13 -4)", "-1"),
+    ("(remainder -13 -4)", "-1"),
+    ("(gcd 32 -36)", "4"),
+    ("(gcd)", "0"),
+    ("(number->string 100)", "\"100\""),
+    ("(string->number \"100\")", "100"),
+    ("(string->number \"1e2\")", "100.0"),
+    // 6.6 characters
+    ("(char<? #\\A #\\B)", "#t"),
+    ("(char<? #\\a #\\b)", "#t"),
+    ("(char<? #\\0 #\\9)", "#t"),
+    // 6.7 strings
+    ("(string-length \"abc\")", "3"),
+    ("(string-length \"\")", "0"),
+    ("(string-ref \"abc\" 0)", "#\\a"),
+    ("(substring \"abcdef\" 2 4)", "\"cd\""),
+    ("(string-append \"abc\" \"def\")", "\"abcdef\""),
+    // 6.8 vectors
+    ("(vector 'a 'b 'c)", "#(a b c)"),
+    ("(vector-ref '#(1 1 2 3 5 8 13 21) 5)", "8"),
+    (
+        "(define vec (vector 0 '(2 2 2 2) \"Anna\"))
+         (vector-set! vec 1 '(\"Sue\" \"Sue\"))
+         vec",
+        "#(0 (\"Sue\" \"Sue\") \"Anna\")",
+    ),
+    ("(vector->list '#(dah dah didah))", "(dah dah didah)"),
+    ("(list->vector '(dididit dah))", "#(dididit dah)"),
+    // 6.9 control features
+    ("(procedure? car)", "#t"),
+    ("(procedure? 'car)", "#f"),
+    ("(procedure? (lambda (x) (* x x)))", "#t"),
+    ("(procedure? '(lambda (x) (* x x)))", "#f"),
+    ("(apply + (list 3 4))", "7"),
+    (
+        "(define compose (lambda (f g) (lambda args (f (apply g args)))))
+         ((compose sqrt *) 12 75)",
+        "30",
+    ),
+    ("(map cadr '((a b) (d e) (g h)))", "(b e h)"),
+    ("(map (lambda (n) (expt n n)) '(1 2 3 4 5))", "(1 4 27 256 3125)"),
+    ("(map + '(1 2 3) '(4 5 6))", "(5 7 9)"),
+    (
+        "(define v (make-vector 5))
+         (for-each (lambda (i) (vector-set! v i (* i i))) '(0 1 2 3 4))
+         v",
+        "#(0 1 4 9 16)",
+    ),
+    ("(force (delay (+ 1 2)))", "3"),
+    (
+        "(let ((p (delay (+ 1 2)))) (list (force p) (force p)))",
+        "(3 3)",
+    ),
+    ("(call-with-current-continuation procedure?)", "#t"),
+    (
+        "(call-with-current-continuation
+           (lambda (exit)
+             (for-each (lambda (x) (if (negative? x) (exit x) #f))
+                       '(54 0 37 -3 245 19))
+             #t))",
+        "-3",
+    ),
+    (
+        "(define list-length
+           (lambda (obj)
+             (call-with-current-continuation
+               (lambda (return)
+                 (letrec ((r (lambda (obj)
+                               (cond ((null? obj) 0)
+                                     ((pair? obj) (+ (r (cdr obj)) 1))
+                                     (else (return #f))))))
+                   (r obj))))))
+         (list (list-length '(1 2 3 4)) (list-length '(a b . c)))",
+        "(4 #f)",
+    ),
+];
+
+fn engine(strategy: Strategy) -> Engine {
+    Engine::builder().strategy(strategy).max_steps(100_000_000).build().unwrap()
+}
+
+#[test]
+fn r3rs_battery_on_the_segmented_stack() {
+    let mut failures = Vec::new();
+    for (src, expected) in CASES {
+        let mut e = engine(Strategy::Segmented);
+        match e.eval_to_string(src) {
+            Ok(got) if got == *expected => {}
+            Ok(got) => failures.push(format!("{src}\n  expected {expected}, got {got}")),
+            Err(err) => failures.push(format!("{src}\n  error: {err}")),
+        }
+    }
+    assert!(failures.is_empty(), "{} failures:\n{}", failures.len(), failures.join("\n"));
+}
+
+#[test]
+fn r3rs_battery_on_every_other_strategy() {
+    for s in [
+        Strategy::Heap,
+        Strategy::Copy,
+        Strategy::Cache,
+        Strategy::Hybrid,
+        Strategy::Incremental,
+    ] {
+        let mut failures = Vec::new();
+        for (src, expected) in CASES {
+            let mut e = engine(s);
+            match e.eval_to_string(src) {
+                Ok(got) if got == *expected => {}
+                Ok(got) => failures.push(format!("{src} => {got} (want {expected})")),
+                Err(err) => failures.push(format!("{src} => error {err}")),
+            }
+        }
+        assert!(failures.is_empty(), "{s}: {} failures:\n{}", failures.len(), failures.join("\n"));
+    }
+}
+
+/// `negative?` appears in a report example; make sure the battery's own
+/// helpers exist.
+#[test]
+fn battery_helpers_exist() {
+    let mut e = engine(Strategy::Segmented);
+    assert_eq!(e.eval_to_string("(negative? -1)").unwrap(), "#t");
+    assert_eq!(e.eval_to_string("(zero? 0)").unwrap(), "#t");
+}
+
+/// Extensions beyond R3RS that this implementation provides, batched the
+/// same way: macros, multiple values, string ports, runtime eval, promises
+/// and the case-insensitive comparators.
+const EXTENSION_CASES: &[(&str, &str)] = &[
+    // syntax-rules
+    (
+        "(define-syntax my-if2
+           (syntax-rules (then else)
+             ((_ c then t else e) (if c t e))))
+         (my-if2 (> 2 1) then 'a else 'b)",
+        "a",
+    ),
+    (
+        "(define-syntax for
+           (syntax-rules (in)
+             ((_ x in lst body ...) (for-each (lambda (x) body ...) lst))))
+         (define acc '())
+         (for v in '(1 2 3) (set! acc (cons (* v v) acc)))
+         (reverse acc)",
+        "(1 4 9)",
+    ),
+    // values
+    ("(call-with-values (lambda () (values 4 5)) (lambda (a b) b))", "5"),
+    ("(call-with-values * -)", "-1"),
+    // string ports
+    (
+        "(let ((p (open-output-string)))
+           (write '(hi \"there\") p)
+           (get-output-string p))",
+        "\"(hi \\\"there\\\")\"",
+    ),
+    // runtime eval + read
+    ("(eval (read-from-string \"(let ((x 3)) (* x x))\"))", "9"),
+    ("(define source '(define evaluated 99)) (eval source) evaluated", "99"),
+    // promises memoize
+    (
+        "(define count 0)
+         (define p (delay (begin (set! count (+ count 1)) count)))
+         (list (force p) (force p) count)",
+        "(1 1 1)",
+    ),
+    // case-insensitive comparisons
+    ("(char-ci=? #\\A #\\a)", "#t"),
+    ("(string-ci=? \"Hello\" \"hELLO\")", "#t"),
+    ("(string-ci=? \"abc\" \"abd\")", "#f"),
+    ("(boolean=? #t #t)", "#t"),
+    ("(boolean=? #t #f)", "#f"),
+    // stack introspection
+    ("(list? (stack-frames))", "#t"),
+    // sort (prelude)
+    ("(sort '(5 2 8 1 9 3) <)", "(1 2 3 5 8 9)"),
+    // quasiquote depth
+    ("`(1 ,@(map (lambda (x) (* x 10)) '(1 2)) 3)", "(1 10 20 3)"),
+    // apply + values interplay
+    ("(apply call-with-values (list (lambda () (values 1 2)) +))", "3"),
+];
+
+#[test]
+fn extension_battery_on_every_strategy() {
+    for s in Strategy::ALL {
+        let mut failures = Vec::new();
+        for (src, expected) in EXTENSION_CASES {
+            let mut e = engine(s);
+            match e.eval_to_string(src) {
+                Ok(got) if got == *expected => {}
+                Ok(got) => failures.push(format!("{src} => {got} (want {expected})")),
+                Err(err) => failures.push(format!("{src} => error {err}")),
+            }
+        }
+        assert!(failures.is_empty(), "{s}: {} failures:\n{}", failures.len(), failures.join("\n"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Differential testing: the five control-stack strategies must be
+//! observationally identical.
+//!
+//! The assignment-conversion invariant (frame slots are single-assignment
+//! per activation) is exactly what makes frame *sharing* (heap, hybrid)
+//! equivalent to frame *copying* (copy, cache, segmented). These tests
+//! check that equivalence on a fixed corpus and on randomly generated
+//! programs.
+
+use proptest::prelude::*;
+// `baselines::Strategy` shadows proptest's `Strategy` trait from the
+// prelude glob; bring the trait's methods back in anonymously.
+use proptest::strategy::Strategy as _;
+use segstack::baselines::Strategy;
+use segstack::core::Config;
+use segstack::scheme::{CheckPolicy, Engine};
+
+/// Evaluates `src` under a strategy, returning printed value or error text.
+fn run_on(strategy: Strategy, cfg: &Config, src: &str) -> Result<String, String> {
+    let mut e = Engine::builder()
+        .strategy(strategy)
+        .config(cfg.clone())
+        .max_steps(50_000_000)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let v = e.eval(src).map_err(|e| e.to_string())?;
+    let out = e.take_output();
+    Ok(format!("{out}|{v}"))
+}
+
+#[track_caller]
+fn agree(cfg: &Config, src: &str) {
+    let reference = run_on(Strategy::Segmented, cfg, src);
+    for s in [Strategy::Heap, Strategy::Copy, Strategy::Cache, Strategy::Hybrid, Strategy::Incremental] {
+        let got = run_on(s, cfg, src);
+        assert_eq!(got, reference, "strategy {s} diverges on:\n{src}");
+    }
+}
+
+fn default_cfg() -> Config {
+    Config::default()
+}
+
+/// A stressed configuration: small segments force frequent overflow,
+/// a tiny copy bound forces splitting on nearly every reinstatement.
+fn stressed_cfg() -> Config {
+    Config::builder()
+        .segment_slots(256)
+        .frame_bound(48)
+        .copy_bound(16)
+        .build()
+        .unwrap()
+}
+
+const CORPUS: &[(&str, &str)] = &[
+    ("fib", "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 17)"),
+    (
+        "tak",
+        "(define (tak x y z)
+           (if (not (< y x)) z
+               (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+         (tak 14 10 5)",
+    ),
+    ("ctak", include_str!("programs/ctak.scm")),
+    ("sort", include_str!("programs/sort.scm")),
+    ("deriv", include_str!("programs/deriv.scm")),
+    ("queens", include_str!("programs/queens.scm")),
+    ("generators", include_str!("programs/generators.scm")),
+    ("boyer", include_str!("programs/boyer.scm")),
+    (
+        "deep-sum",
+        "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 30000)",
+    ),
+    (
+        "ackermann",
+        "(define (ack m n)
+           (cond ((= m 0) (+ n 1))
+                 ((= n 0) (ack (- m 1) 1))
+                 (else (ack (- m 1) (ack m (- n 1))))))
+         (list (ack 2 3) (ack 3 3))",
+    ),
+    (
+        "string-churn",
+        "(define (churn n acc)
+           (if (= n 0)
+               (string-length acc)
+               (churn (- n 1)
+                      (substring (string-append acc (number->string n)) 0
+                                 (min 40 (string-length (string-append acc \"x\")))))))
+         (churn 200 \"\")",
+    ),
+    (
+        "mutual-tail",
+        "(define (ev? n) (if (= n 0) #t (od? (- n 1))))
+         (define (od? n) (if (= n 0) #f (ev? (- n 1))))
+         (list (ev? 100000) (od? 99999))",
+    ),
+    (
+        "escape-product",
+        "(define (product lst)
+           (call/cc (lambda (exit)
+             (let loop ((l lst) (acc 1))
+               (cond ((null? l) acc)
+                     ((= (car l) 0) (exit 0))
+                     (else (loop (cdr l) (* acc (car l)))))))))
+         (list (product '(1 2 3 4)) (product '(9 9 0 9)))",
+    ),
+    (
+        "io-ordering",
+        "(define (countdown n)
+           (if (= n 0) (display \"go\") (begin (display n) (display \" \") (countdown (- n 1)))))
+         (countdown 5)",
+    ),
+    (
+        "errors",
+        "(define (boom) (car 42)) (boom)",
+    ),
+];
+
+#[test]
+fn corpus_agrees_on_default_config() {
+    for (name, src) in CORPUS {
+        let cfg = default_cfg();
+        let reference = run_on(Strategy::Segmented, &cfg, src);
+        for s in [Strategy::Heap, Strategy::Copy, Strategy::Cache, Strategy::Hybrid, Strategy::Incremental] {
+            assert_eq!(run_on(s, &cfg, src), reference, "{name} diverges under {s}");
+        }
+    }
+}
+
+#[test]
+fn corpus_agrees_under_stress_config() {
+    for (name, src) in CORPUS {
+        let cfg = stressed_cfg();
+        let reference = run_on(Strategy::Segmented, &cfg, src);
+        for s in [Strategy::Heap, Strategy::Copy, Strategy::Cache, Strategy::Hybrid, Strategy::Incremental] {
+            assert_eq!(run_on(s, &cfg, src), reference, "{name} diverges under {s} (stressed)");
+        }
+    }
+}
+
+#[test]
+fn corpus_agrees_across_check_policies() {
+    // The overflow-check policy must never change results, only counters.
+    for (name, src) in CORPUS {
+        let mut results = Vec::new();
+        for policy in [CheckPolicy::Always, CheckPolicy::Elide] {
+            let mut e = Engine::builder()
+                .check_policy(policy)
+                .max_steps(50_000_000)
+                .build()
+                .unwrap();
+            let r = e.eval(src).map(|v| v.to_string()).map_err(|e| e.to_string());
+            results.push((policy, r));
+        }
+        assert_eq!(results[0].1, results[1].1, "{name} diverges across check policies");
+    }
+}
+
+// ---- property-based random programs ---------------------------------------
+
+/// Variable pool for generated programs.
+const VARS: [&str; 5] = ["va", "vb", "vc", "vd", "ve"];
+
+/// Generates a deterministic expression using only bound variables from
+/// `bound` (a bitmask over [`VARS`]). `k_depth` counts enclosing `call/cc`
+/// receivers whose continuation parameter may be invoked.
+fn arb_expr(depth: u32, bound: u8, k_depth: u8) -> BoxedStrategy<String> {
+    let mut leaves: Vec<BoxedStrategy<String>> =
+        vec![(-50i64..50).prop_map(|n| n.to_string()).boxed()];
+    let bound_vars: Vec<&'static str> =
+        VARS.iter().enumerate().filter(|(i, _)| bound & (1 << i) != 0).map(|(_, v)| *v).collect();
+    if !bound_vars.is_empty() {
+        leaves.push(proptest::sample::select(bound_vars).prop_map(str::to_owned).boxed());
+    }
+    let leaf = proptest::strategy::Union::new(leaves).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = || arb_expr(depth - 1, bound, k_depth);
+    let mut choices: Vec<BoxedStrategy<String>> = vec![
+        leaf.clone(),
+        (sub(), sub()).prop_map(|(a, b)| format!("(+ {a} {b})")).boxed(),
+        (sub(), sub()).prop_map(|(a, b)| format!("(- {a} {b})")).boxed(),
+        (sub(), sub()).prop_map(|(a, b)| format!("(min {a} (* 3 {b}))")).boxed(),
+        (sub(), sub(), sub())
+            .prop_map(|(c, t, e)| format!("(if (< {c} 0) {t} {e})"))
+            .boxed(),
+        (sub(), sub()).prop_map(|(a, b)| format!("(begin {a} {b})")).boxed(),
+    ];
+    // let-binding an unbound or shadowed variable.
+    for (i, v) in VARS.iter().enumerate() {
+        if i < 2 || bound & (1 << i) != 0 {
+            let inner = arb_expr(depth - 1, bound | (1 << i), k_depth);
+            let init = sub();
+            choices
+                .push((init, inner).prop_map(move |(a, b)| format!("(let (({v} {a})) {b})")).boxed());
+        }
+    }
+    // set! on a bound variable.
+    if bound != 0 {
+        let bound_vars: Vec<&'static str> = VARS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bound & (1 << i) != 0)
+            .map(|(_, v)| *v)
+            .collect();
+        let var = proptest::sample::select(bound_vars);
+        choices.push(
+            (var, sub(), sub())
+                .prop_map(|(v, a, b)| format!("(begin (set! {v} {a}) {b})"))
+                .boxed(),
+        );
+    }
+    // Direct lambda application (exercises closures and frames).
+    {
+        let inner = arb_expr(depth - 1, bound | 1, k_depth);
+        choices.push(
+            (inner, sub())
+                .prop_map(|(b, a)| format!("((lambda ({}) {b}) {a})", VARS[0]))
+                .boxed(),
+        );
+    }
+    // call/cc: the continuation may be invoked (escape) or ignored.
+    if k_depth < 3 {
+        let kname = format!("k{k_depth}");
+        let body = arb_expr(depth - 1, bound, k_depth + 1);
+        let escape = proptest::bool::ANY;
+        let arg = sub();
+        choices.push(
+            (body, escape, arg)
+                .prop_map(move |(b, esc, a)| {
+                    if esc {
+                        format!("(call/cc (lambda ({kname}) (+ 1 ({kname} {a}) {b})))")
+                    } else {
+                        format!("(call/cc (lambda ({kname}) {b}))")
+                    }
+                })
+                .boxed(),
+        );
+    }
+    proptest::strategy::Union::new(choices).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random programs evaluate identically on all six strategies, both on
+    /// the default and on the stressed configuration.
+    #[test]
+    fn random_programs_agree(src in arb_expr(4, 0, 0)) {
+        agree(&default_cfg(), &src);
+        agree(&stressed_cfg(), &src);
+    }
+
+    /// Random programs under a deep driver: run the generated expression
+    /// inside a non-tail recursion so captures happen at depth and
+    /// overflow/underflow paths engage under the stressed configuration.
+    #[test]
+    fn random_programs_agree_at_depth(src in arb_expr(3, 0, 0)) {
+        let program = format!(
+            "(define (drive n) (if (= n 0) {src} (+ 1 (drive (- n 1)))))
+             (drive 60)"
+        );
+        agree(&stressed_cfg(), &program);
+    }
+}

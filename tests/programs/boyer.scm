@@ -1,0 +1,135 @@
+;; A compact Boyer-style rewriting theorem prover (after the Gabriel
+;; benchmark): one-way unification, a lemma database keyed by operator,
+;; exhaustive rewriting, and IF-tautology checking. List- and
+;; symbol-intensive, deeply recursive.
+
+(define lemmas '())
+
+(define (add-lemma! eq)
+  ;; eq = (equal lhs rhs)
+  (let ((lhs (cadr eq)) (rhs (caddr eq)))
+    (let ((op (car lhs)))
+      (let ((hit (assq op lemmas)))
+        (if hit
+            (set-cdr! hit (cons (cons lhs rhs) (cdr hit)))
+            (set! lemmas (cons (list op (cons lhs rhs)) lemmas)))))))
+
+(define (rules-for op)
+  (let ((hit (assq op lemmas)))
+    (if hit (cdr hit) '())))
+
+;; One-way unification: pattern variables are symbols; terms match
+;; literally. Returns #f or an extended substitution alist.
+(define (one-way-unify pat term subst)
+  (cond ((not (pair? pat))
+         (if (symbol? pat)
+             (let ((bound (assq pat subst)))
+               (cond (bound (if (equal? (cdr bound) term) subst #f))
+                     (else (cons (cons pat term) subst))))
+             (if (equal? pat term) subst #f)))
+        ((not (pair? term)) #f)
+        ((eq? (car pat) (car term))
+         (let loop ((ps (cdr pat)) (ts (cdr term)) (s subst))
+           (cond ((and (null? ps) (null? ts)) s)
+                 ((or (null? ps) (null? ts)) #f)
+                 (else
+                  (let ((s2 (one-way-unify (car ps) (car ts) s)))
+                    (if s2 (loop (cdr ps) (cdr ts) s2) #f))))))
+        (else #f)))
+
+(define (apply-subst subst term)
+  (cond ((not (pair? term))
+         (if (symbol? term)
+             (let ((bound (assq term subst)))
+               (if bound (cdr bound) term))
+             term))
+        (else (cons (car term) (map (lambda (t) (apply-subst subst t)) (cdr term))))))
+
+(define (rewrite term)
+  (if (not (pair? term))
+      term
+      (rewrite-with-lemmas
+        (cons (car term) (map rewrite (cdr term)))
+        (rules-for (car term)))))
+
+(define (rewrite-with-lemmas term rules)
+  (cond ((null? rules) term)
+        ((one-way-unify (car (car rules)) term '())
+         => (lambda (subst) (rewrite (apply-subst subst (cdr (car rules))))))
+        (else (rewrite-with-lemmas term (cdr rules)))))
+
+;; Tautology checking over rewritten IF-terms.
+(define (truep x lst) (or (equal? x '(t)) (member x lst)))
+(define (falsep x lst) (or (equal? x '(f)) (member x lst)))
+
+(define (tautologyp x true-lst false-lst)
+  (cond ((truep x true-lst) #t)
+        ((falsep x false-lst) #f)
+        ((not (pair? x)) #f)
+        ((eq? (car x) 'if)
+         (let ((test (cadr x)) (then (caddr x)) (else* (cadddr x)))
+           (cond ((truep test true-lst) (tautologyp then true-lst false-lst))
+                 ((falsep test false-lst) (tautologyp else* true-lst false-lst))
+                 (else (and (tautologyp then (cons test true-lst) false-lst)
+                            (tautologyp else* true-lst (cons test false-lst)))))))
+        (else #f)))
+
+(define (tautp x) (tautologyp (rewrite x) '() '()))
+
+;; The lemma database (a representative slice of the Gabriel set).
+(for-each add-lemma!
+  '((equal (and p q) (if p (if q (t) (f)) (f)))
+    (equal (or p q) (if p (t) (if q (t) (f))))
+    (equal (not p) (if p (f) (t)))
+    (equal (implies p q) (if p (if q (t) (f)) (t)))
+    (equal (iff p q) (and (implies p q) (implies q p)))
+    (equal (plus (plus x y) z) (plus x (plus y z)))
+    (equal (equal (plus a b) (zero)) (and (zerop a) (zerop b)))
+    (equal (difference x x) (zero))
+    (equal (equal (plus a b) (plus a c)) (equal b c))
+    (equal (equal (zero) (difference x y)) (not (lessp y x)))
+    (equal (lessp (remainder x y) y) (not (zerop y)))
+    (equal (remainder x 1) (zero))
+    (equal (lessp (plus x y) (plus x z)) (lessp y z))
+    (equal (append (append x y) z) (append x (append y z)))
+    (equal (reverse (append a b)) (append (reverse b) (reverse a)))
+    (equal (length (append a b)) (plus (length a) (length b)))
+    (equal (member x (append a b)) (or (member x a) (member x b)))))
+
+;; The classic driver: instantiate a theorem schema and check tautology.
+(define theorem
+  '(implies (and (implies x y)
+                 (and (implies y z)
+                      (and (implies z u) (implies u w))))
+            (implies x w)))
+
+(define (subst-theorem n)
+  ;; Vary the instantiation to defeat trivial sharing.
+  (apply-subst
+    (list (cons 'x (list 'f n))
+          (cons 'y (list 'g n))
+          (cons 'z (list 'h n))
+          (cons 'u '(u))
+          (cons 'w '(w)))
+    theorem))
+
+(define (term-size t)
+  (if (pair? t) (fold-left + 1 (map term-size (cdr t))) 1))
+
+;; Rewrites n theorem instances to IF-normal form and fingerprints the
+;; total rewritten size (the benchmark's deterministic checksum), plus the
+;; tautology decisions the IF-decomposition checker can make.
+(define (run-boyer n)
+  (let loop ((i 0) (size 0) (taut 0))
+    (if (= i n)
+        (list size taut)
+        (let ((rewritten (rewrite (subst-theorem i))))
+          (loop (+ i 1)
+                (+ size (term-size rewritten))
+                (if (tautologyp rewritten '() '()) (+ taut 1) taut))))))
+
+(list (run-boyer 12)
+      (tautp '(implies p p))
+      (tautp '(if p p (not p)))
+      (tautp '(and p (not p)))
+      (rewrite '(equal (plus (plus a b) (zero)) (zero))))

@@ -1,0 +1,28 @@
+;; Symbolic differentiation (the classic Lisp benchmark shape).
+(define (deriv exp var)
+  (cond ((number? exp) 0)
+        ((symbol? exp) (if (eq? exp var) 1 0))
+        ((eq? (car exp) '+)
+         (list '+ (deriv (cadr exp) var) (deriv (caddr exp) var)))
+        ((eq? (car exp) '*)
+         (list '+
+               (list '* (cadr exp) (deriv (caddr exp) var))
+               (list '* (deriv (cadr exp) var) (caddr exp))))
+        (else (error "unknown operator" (car exp)))))
+
+(define (simplify exp)
+  (if (not (pair? exp))
+      exp
+      (let ((op (car exp)) (a (simplify (cadr exp))) (b (simplify (caddr exp))))
+        (cond ((and (eq? op '+) (equal? a 0)) b)
+              ((and (eq? op '+) (equal? b 0)) a)
+              ((and (eq? op '*) (or (equal? a 0) (equal? b 0))) 0)
+              ((and (eq? op '*) (equal? a 1)) b)
+              ((and (eq? op '*) (equal? b 1)) a)
+              ((and (number? a) (number? b)) (if (eq? op '+) (+ a b) (* a b)))
+              (else (list op a b))))))
+
+(define (nest exp n)
+  (if (= n 0) exp (nest (list '* exp (list '+ 'x n)) (- n 1))))
+
+(simplify (deriv (nest 'x 6) 'x))

@@ -1,0 +1,23 @@
+;; Re-entrant generators built directly on call/cc; consumed twice to force
+;; multiple reinstatements of the same continuations.
+(define (make-gen lst)
+  (define return #f)
+  (define resume #f)
+  (define (start)
+    (for-each (lambda (x)
+                (call/cc (lambda (r) (set! resume r) (return x))))
+              lst)
+    (return 'done))
+  (lambda ()
+    (call/cc (lambda (k)
+      (set! return k)
+      (if resume (resume #f) (start))))))
+
+(define (drain g)
+  (let loop ((acc '()))
+    (let ((v (g)))
+      (if (eq? v 'done) (reverse acc) (loop (cons v acc))))))
+
+(define g1 (make-gen '(1 2 3 4 5)))
+(define g2 (make-gen '(10 20 30)))
+(list (drain g1) (drain g2) (drain (make-gen '())))

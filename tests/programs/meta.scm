@@ -1,0 +1,84 @@
+;; A metacircular Scheme evaluator, itself running on segstack's VM: the
+;; classic stress test for environments, closures and recursion depth.
+
+(define (env-lookup var env)
+  (let ((hit (assq var env)))
+    (if hit (cdr hit) (error "meta: unbound" var))))
+
+(define (env-extend params args env)
+  (cond ((null? params) env)
+        ((symbol? params) (cons (cons params args) env))
+        (else (cons (cons (car params) (car args))
+                    (env-extend (cdr params) (cdr args) env)))))
+
+(define (meta-eval exp env)
+  (cond ((number? exp) exp)
+        ((boolean? exp) exp)
+        ((string? exp) exp)
+        ((symbol? exp) (env-lookup exp env))
+        ((pair? exp)
+         (let ((head (car exp)))
+           (cond ((eq? head 'quote) (cadr exp))
+                 ((eq? head 'if)
+                  (if (meta-eval (cadr exp) env)
+                      (meta-eval (caddr exp) env)
+                      (if (null? (cdddr exp))
+                          'meta-unspecified
+                          (meta-eval (cadddr exp) env))))
+                 ((eq? head 'lambda)
+                  (list 'meta-closure (cadr exp) (cddr exp) env))
+                 ((eq? head 'begin) (eval-sequence (cdr exp) env))
+                 ((eq? head 'let)
+                  ;; (let ((v e)...) body...) without defines
+                  (meta-eval
+                    (cons (cons 'lambda (cons (map car (cadr exp)) (cddr exp)))
+                          (map cadr (cadr exp)))
+                    env))
+                 (else
+                  (meta-apply (meta-eval head env)
+                              (map (lambda (a) (meta-eval a env)) (cdr exp)))))))
+        (else (error "meta: cannot evaluate" exp))))
+
+(define (eval-sequence body env)
+  (if (null? (cdr body))
+      (meta-eval (car body) env)
+      (begin (meta-eval (car body) env)
+             (eval-sequence (cdr body) env))))
+
+(define (meta-apply f args)
+  (cond ((procedure? f) (apply f args))       ;; host primitive bridge
+        ((and (pair? f) (eq? (car f) 'meta-closure))
+         (eval-sequence (caddr f)
+                        (env-extend (cadr f) args (cadddr f))))
+        (else (error "meta: not applicable" f))))
+
+(define (base-env)
+  (list (cons '+ +) (cons '- -) (cons '* *) (cons '= =) (cons '< <)
+        (cons 'cons cons) (cons 'car car) (cons 'cdr cdr)
+        (cons 'null? null?) (cons 'list list) (cons 'not not)))
+
+;; letrec via self-application (the Y-combinator style fix):
+(define fib-src
+  '(((lambda (f) (lambda (n) ((f f) n)))
+     (lambda (self)
+       (lambda (n)
+         (if (< n 2) n (+ ((self self) (- n 1)) ((self self) (- n 2)))))))
+    14))
+
+(define map-src
+  '((((lambda (m) (lambda (f) (lambda (l) (((m m) f) l))))
+      (lambda (self)
+        (lambda (f)
+          (lambda (l)
+            (if (null? l)
+                (quote ())
+                (cons (f (car l)) (((self self) f) (cdr l))))))))
+     (lambda (x) (* x x)))
+    (quote (1 2 3 4 5))))
+
+(list
+  (meta-eval fib-src (base-env))
+  (meta-eval '(let ((a 2) (b 3)) (* a b)) (base-env))
+  (meta-eval map-src (base-env))
+  (meta-eval '(begin 1 2 3) (base-env))
+  (meta-eval '((lambda args args) 1 2 3) (base-env)))

@@ -1,0 +1,21 @@
+;; n-queens by plain recursion (no continuations): returns solution count.
+(define (safe? row placed dist)
+  (cond ((null? placed) #t)
+        ((= (car placed) row) #f)
+        ((= (abs (- (car placed) row)) dist) #f)
+        (else (safe? row (cdr placed) (+ dist 1)))))
+
+(define (count-queens n)
+  (define (try col placed)
+    (if (= col n)
+        1
+        (let loop ((row 0) (acc 0))
+          (if (= row n)
+              acc
+              (loop (+ row 1)
+                    (if (safe? row placed 1)
+                        (+ acc (try (+ col 1) (cons row placed)))
+                        acc))))))
+  (try 0 '()))
+
+(count-queens 6)

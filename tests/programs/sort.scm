@@ -1,0 +1,34 @@
+;; Merge sort over a pseudo-random list (linear congruential generator).
+(define (make-list-lcg n seed)
+  (let loop ((i n) (s seed) (acc '()))
+    (if (= i 0)
+        acc
+        (let ((next (modulo (+ (* s 1103515245) 12345) 2147483648)))
+          (loop (- i 1) next (cons (modulo next 1000) acc))))))
+
+(define (merge a b)
+  (cond ((null? a) b)
+        ((null? b) a)
+        ((<= (car a) (car b)) (cons (car a) (merge (cdr a) b)))
+        (else (cons (car b) (merge a (cdr b))))))
+
+(define (split lst)
+  (if (or (null? lst) (null? (cdr lst)))
+      (cons lst '())
+      (let ((rest (split (cddr lst))))
+        (cons (cons (car lst) (car rest))
+              (cons (cadr lst) (cdr rest))))))
+
+(define (merge-sort lst)
+  (if (or (null? lst) (null? (cdr lst)))
+      lst
+      (let ((halves (split lst)))
+        (merge (merge-sort (car halves)) (merge-sort (cdr halves))))))
+
+(define (sorted? lst)
+  (or (null? lst) (null? (cdr lst))
+      (and (<= (car lst) (cadr lst)) (sorted? (cdr lst)))))
+
+(define data (make-list-lcg 400 42))
+(define sorted (merge-sort data))
+(list (sorted? sorted) (length sorted) (car sorted) (fold-left + 0 sorted))
