@@ -15,8 +15,8 @@ use std::any::Any;
 use std::rc::Rc;
 
 use segstack_core::{
-    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics,
-    ReturnAddress, StackError, StackSlot, StackStats,
+    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics, ReturnAddress,
+    StackError, StackSlot, StackStats,
 };
 
 /// A flushed block of frames: a copied stack image plus the usual record
@@ -139,9 +139,13 @@ impl<S: StackSlot> ControlStack<S> for CacheStack<S> {
         self.buf[self.fp + i] = v;
     }
 
-    fn call(&mut self, d: usize, ra: CodeAddr, nargs: usize, check: bool)
-        -> Result<(), StackError>
-    {
+    fn call(
+        &mut self,
+        d: usize,
+        ra: CodeAddr,
+        nargs: usize,
+        check: bool,
+    ) -> Result<(), StackError> {
         debug_assert!(d >= 1);
         self.metrics.calls += 1;
         let bound = self.cfg.frame_bound();
@@ -182,9 +186,8 @@ impl<S: StackSlot> ControlStack<S> for CacheStack<S> {
 
     fn ret(&mut self) -> Result<ReturnAddress, StackError> {
         self.metrics.returns += 1;
-        let ra = self.buf[self.fp]
-            .as_return_address()
-            .expect("frame base must hold a return address");
+        let ra =
+            self.buf[self.fp].as_return_address().expect("frame base must hold a return address");
         match ra {
             ReturnAddress::Code(r) => {
                 self.fp -= self.code.displacement(r);
@@ -316,11 +319,7 @@ mod tests {
 
     fn setup(cache: usize) -> (Rc<TestCode>, CacheStack<TestSlot>) {
         let code = Rc::new(TestCode::new());
-        let cfg = Config::builder()
-            .segment_slots(cache)
-            .frame_bound(16)
-            .build()
-            .unwrap();
+        let cfg = Config::builder().segment_slots(cache).frame_bound(16).build().unwrap();
         let stack = CacheStack::new(cfg, code.clone() as Rc<dyn FrameSizeTable>);
         (code, stack)
     }

@@ -12,8 +12,8 @@ use std::any::Any;
 use std::rc::Rc;
 
 use segstack_core::{
-    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics,
-    ReturnAddress, StackError, StackSlot, StackStats,
+    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics, ReturnAddress,
+    StackError, StackSlot, StackStats,
 };
 
 /// Continuation representation of the copy model: a full copy of the stack
@@ -134,9 +134,13 @@ impl<S: StackSlot> ControlStack<S> for CopyStack<S> {
         self.buf[self.fp + i] = v;
     }
 
-    fn call(&mut self, d: usize, ra: CodeAddr, nargs: usize, check: bool)
-        -> Result<(), StackError>
-    {
+    fn call(
+        &mut self,
+        d: usize,
+        ra: CodeAddr,
+        nargs: usize,
+        check: bool,
+    ) -> Result<(), StackError> {
         debug_assert!(d >= 1);
         let _ = nargs;
         self.metrics.calls += 1;
@@ -163,9 +167,8 @@ impl<S: StackSlot> ControlStack<S> for CopyStack<S> {
 
     fn ret(&mut self) -> Result<ReturnAddress, StackError> {
         self.metrics.returns += 1;
-        let ra = self.buf[self.fp]
-            .as_return_address()
-            .expect("frame base must hold a return address");
+        let ra =
+            self.buf[self.fp].as_return_address().expect("frame base must hold a return address");
         match ra {
             ReturnAddress::Code(r) => {
                 self.fp -= self.code.displacement(r);
@@ -263,11 +266,7 @@ mod tests {
 
     fn setup() -> (Rc<TestCode>, CopyStack<TestSlot>) {
         let code = Rc::new(TestCode::new());
-        let cfg = Config::builder()
-            .segment_slots(256)
-            .frame_bound(16)
-            .build()
-            .unwrap();
+        let cfg = Config::builder().segment_slots(256).frame_bound(16).build().unwrap();
         let stack = CopyStack::new(cfg, code.clone() as Rc<dyn FrameSizeTable>);
         (code, stack)
     }

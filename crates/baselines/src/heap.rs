@@ -126,9 +126,13 @@ impl<S: StackSlot> ControlStack<S> for HeapStack<S> {
         self.cur.set(i, v);
     }
 
-    fn call(&mut self, d: usize, ra: CodeAddr, nargs: usize, _check: bool)
-        -> Result<(), StackError>
-    {
+    fn call(
+        &mut self,
+        d: usize,
+        ra: CodeAddr,
+        nargs: usize,
+        _check: bool,
+    ) -> Result<(), StackError> {
         self.metrics.calls += 1;
         let mut slots = Vec::with_capacity(1 + nargs);
         slots.push(S::from_return_address(ReturnAddress::Code(ra)));
@@ -160,7 +164,8 @@ impl<S: StackSlot> ControlStack<S> for HeapStack<S> {
 
     fn ret(&mut self) -> Result<ReturnAddress, StackError> {
         self.metrics.returns += 1;
-        let ra = self.cur.get(0).as_return_address().expect("frame slot 0 must hold a return address");
+        let ra =
+            self.cur.get(0).as_return_address().expect("frame slot 0 must hold a return address");
         match ra {
             ReturnAddress::Code(_) => {
                 // "The called procedure uses the link to restore the old
@@ -178,7 +183,8 @@ impl<S: StackSlot> ControlStack<S> for HeapStack<S> {
 
     fn capture(&mut self) -> Continuation<S> {
         self.metrics.captures += 1;
-        let ra = self.cur.get(0).as_return_address().expect("frame slot 0 must hold a return address");
+        let ra =
+            self.cur.get(0).as_return_address().expect("frame slot 0 must hold a return address");
         match ra {
             ReturnAddress::Code(ra) => {
                 let frame = self.cur.link.clone().expect("a code return address implies a caller");
@@ -297,7 +303,10 @@ mod tests {
         stack.reinstate(&k).unwrap();
         // Re-entering a shared frame clones just that frame (never the
         // chain), so the continuation's view stays frozen.
-        assert!(stack.metrics().slots_copied - copied <= 8, "reinstate cost is one frame, not O(depth)");
+        assert!(
+            stack.metrics().slots_copied - copied <= 8,
+            "reinstate cost is one frame, not O(depth)"
+        );
         assert_eq!(stack.get(1), TestSlot::Int(98), "resumed on the caller's frame");
     }
 

@@ -14,8 +14,8 @@ use std::any::Any;
 use std::rc::Rc;
 
 use segstack_core::{
-    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics,
-    ReturnAddress, StackError, StackSlot, StackStats,
+    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics, ReturnAddress,
+    StackError, StackSlot, StackStats,
 };
 
 use crate::frames::HeapFrame;
@@ -106,7 +106,14 @@ impl<S: StackSlot> HybridStack<S> {
     pub fn new(cfg: Config, code: Rc<dyn FrameSizeTable>) -> Self {
         let mut buf: Vec<S> = std::iter::repeat_with(S::empty).take(cfg.segment_slots()).collect();
         buf[0] = S::from_return_address(ReturnAddress::Exit);
-        HybridStack { code, cfg, buf, fp: 0, mode: Mode::Stack { deep: None }, metrics: Metrics::new() }
+        HybridStack {
+            code,
+            cfg,
+            buf,
+            fp: 0,
+            mode: Mode::Stack { deep: None },
+            metrics: Metrics::new(),
+        }
     }
 
     /// Returns `true` when the current frame lives in the heap (execution
@@ -204,9 +211,13 @@ impl<S: StackSlot> ControlStack<S> for HybridStack<S> {
         }
     }
 
-    fn call(&mut self, d: usize, ra: CodeAddr, nargs: usize, check: bool)
-        -> Result<(), StackError>
-    {
+    fn call(
+        &mut self,
+        d: usize,
+        ra: CodeAddr,
+        nargs: usize,
+        check: bool,
+    ) -> Result<(), StackError> {
         debug_assert!(d >= 1);
         self.metrics.calls += 1;
         let bound = self.cfg.frame_bound();
@@ -305,7 +316,8 @@ impl<S: StackSlot> ControlStack<S> for HybridStack<S> {
                     ReturnAddress::Code(r) => {
                         if self.fp == 0 {
                             // Returning off the stack into the heap chain.
-                            let h = deep.clone().expect("stack base with code ra implies a heap chain");
+                            let h =
+                                deep.clone().expect("stack base with code ra implies a heap chain");
                             self.mode = Mode::Heap(h);
                             self.make_private_heap();
                         } else {
@@ -320,7 +332,8 @@ impl<S: StackSlot> ControlStack<S> for HybridStack<S> {
                 }
             }
             Mode::Heap(h) => {
-                let ra = h.get(0).as_return_address().expect("frame slot 0 must hold a return address");
+                let ra =
+                    h.get(0).as_return_address().expect("frame slot 0 must hold a return address");
                 match ra {
                     ReturnAddress::Code(_) => {
                         let link = h.link.clone().expect("a code return address implies a caller");
@@ -341,7 +354,8 @@ impl<S: StackSlot> ControlStack<S> for HybridStack<S> {
         self.metrics.captures += 1;
         match &self.mode {
             Mode::Heap(h) => {
-                let ra = h.get(0).as_return_address().expect("frame slot 0 must hold a return address");
+                let ra =
+                    h.get(0).as_return_address().expect("frame slot 0 must hold a return address");
                 match ra {
                     ReturnAddress::Code(ra) => {
                         let frame = h.link.clone().expect("a code return address implies a caller");
@@ -477,11 +491,7 @@ mod tests {
 
     fn setup(stack_slots: usize) -> (Rc<TestCode>, HybridStack<TestSlot>) {
         let code = Rc::new(TestCode::new());
-        let cfg = Config::builder()
-            .segment_slots(stack_slots)
-            .frame_bound(16)
-            .build()
-            .unwrap();
+        let cfg = Config::builder().segment_slots(stack_slots).frame_bound(16).build().unwrap();
         let stack = HybridStack::new(cfg, code.clone() as Rc<dyn FrameSizeTable>);
         (code, stack)
     }
@@ -549,7 +559,10 @@ mod tests {
         assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Code(ras[9]));
         // At most the one re-entered frame is cloned (within the heap);
         // nothing is copied back to the stack.
-        assert!(stack.metrics().slots_copied - copied <= 8, "reinstate cost is one frame, not O(depth)");
+        assert!(
+            stack.metrics().slots_copied - copied <= 8,
+            "reinstate cost is one frame, not O(depth)"
+        );
         assert!(stack.in_heap());
         assert_eq!(sim::unwind_all(&mut stack), 10);
     }

@@ -14,8 +14,8 @@ use std::any::Any;
 use std::rc::Rc;
 
 use segstack_core::{
-    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics,
-    ReturnAddress, StackError, StackSlot, StackStats,
+    CodeAddr, Config, Continuation, ControlStack, FrameSizeTable, KontRepr, Metrics, ReturnAddress,
+    StackError, StackSlot, StackStats,
 };
 
 use crate::frames::HeapFrame;
@@ -161,9 +161,13 @@ impl<S: StackSlot> ControlStack<S> for IncrementalStack<S> {
         self.buf[self.fp + i] = v;
     }
 
-    fn call(&mut self, d: usize, ra: CodeAddr, nargs: usize, check: bool)
-        -> Result<(), StackError>
-    {
+    fn call(
+        &mut self,
+        d: usize,
+        ra: CodeAddr,
+        nargs: usize,
+        check: bool,
+    ) -> Result<(), StackError> {
         debug_assert!(d >= 1);
         self.metrics.calls += 1;
         let bound = self.cfg.frame_bound();
@@ -216,9 +220,8 @@ impl<S: StackSlot> ControlStack<S> for IncrementalStack<S> {
 
     fn ret(&mut self) -> Result<ReturnAddress, StackError> {
         self.metrics.returns += 1;
-        let ra = self.buf[self.fp]
-            .as_return_address()
-            .expect("frame base must hold a return address");
+        let ra =
+            self.buf[self.fp].as_return_address().expect("frame base must hold a return address");
         match ra {
             ReturnAddress::Code(r) => {
                 if self.fp == 0 {
@@ -243,9 +246,8 @@ impl<S: StackSlot> ControlStack<S> for IncrementalStack<S> {
 
     fn capture(&mut self) -> Continuation<S> {
         self.metrics.captures += 1;
-        let ra = self.buf[self.fp]
-            .as_return_address()
-            .expect("frame base must hold a return address");
+        let ra =
+            self.buf[self.fp].as_return_address().expect("frame base must hold a return address");
         let ReturnAddress::Code(live_ra) = ra else {
             return Continuation::exit();
         };
@@ -356,11 +358,7 @@ mod tests {
 
     fn setup(stack_slots: usize) -> (Rc<TestCode>, IncrementalStack<TestSlot>) {
         let code = Rc::new(TestCode::new());
-        let cfg = Config::builder()
-            .segment_slots(stack_slots)
-            .frame_bound(16)
-            .build()
-            .unwrap();
+        let cfg = Config::builder().segment_slots(stack_slots).frame_bound(16).build().unwrap();
         let stack = IncrementalStack::new(cfg, code.clone() as Rc<dyn FrameSizeTable>);
         (code, stack)
     }

@@ -34,9 +34,7 @@ pub use heap::HeapStack;
 pub use hybrid::HybridStack;
 pub use incremental::IncrementalStack;
 
-use segstack_core::{
-    Config, ControlStack, FrameSizeTable, SegmentedStack, StackError, StackSlot,
-};
+use segstack_core::{Config, ControlStack, FrameSizeTable, SegmentedStack, StackError, StackSlot};
 
 /// Identifies one of the six control-stack strategies.
 ///
@@ -168,13 +166,8 @@ mod tests {
     fn factory_builds_working_stacks() {
         for s in Strategy::ALL {
             let code = Rc::new(TestCode::new());
-            let cfg = Config::builder()
-                .segment_slots(512)
-                .frame_bound(16)
-                .build()
-                .unwrap();
-            let mut stack: Box<dyn ControlStack<TestSlot>> =
-                s.build(cfg, code.clone()).unwrap();
+            let cfg = Config::builder().segment_slots(512).frame_bound(16).build().unwrap();
+            let mut stack: Box<dyn ControlStack<TestSlot>> = s.build(cfg, code.clone()).unwrap();
             assert_eq!(stack.name(), s.name());
             sim::push_frames(&mut *stack, &code, 10, 4);
             assert_eq!(sim::unwind_all(&mut *stack), 11, "{s}");
@@ -193,8 +186,7 @@ mod tests {
                 .copy_bound(32)
                 .build()
                 .unwrap();
-            let mut stack: Box<dyn ControlStack<TestSlot>> =
-                s.build(cfg, code.clone()).unwrap();
+            let mut stack: Box<dyn ControlStack<TestSlot>> = s.build(cfg, code.clone()).unwrap();
             let ras = sim::push_frames(&mut *stack, &code, 8, 4);
             let k = stack.capture();
             // Unwind to the top, reinstate, observe identical resumption.
@@ -213,13 +205,8 @@ mod tests {
     fn looper_is_constant_space_on_all_strategies() {
         for s in Strategy::ALL {
             let code = Rc::new(TestCode::new());
-            let cfg = Config::builder()
-                .segment_slots(512)
-                .frame_bound(16)
-                .build()
-                .unwrap();
-            let mut stack: Box<dyn ControlStack<TestSlot>> =
-                s.build(cfg, code.clone()).unwrap();
+            let cfg = Config::builder().segment_slots(512).frame_bound(16).build().unwrap();
+            let mut stack: Box<dyn ControlStack<TestSlot>> = s.build(cfg, code.clone()).unwrap();
             let max_chain = sim::looper_workload(&mut *stack, &code, 300, 4);
             assert!(max_chain <= 1, "{s}: looper grew the chain to {max_chain}");
         }

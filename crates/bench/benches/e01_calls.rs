@@ -8,12 +8,7 @@ use segstack_scheme::{CheckPolicy, Engine};
 use std::time::Duration;
 
 fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
-    Engine::builder()
-        .strategy(s)
-        .config(cfg.clone())
-        .check_policy(policy)
-        .build()
-        .expect("engine")
+    Engine::builder().strategy(s).config(cfg.clone()).check_policy(policy).build().expect("engine")
 }
 
 fn quick() -> Criterion {
@@ -22,7 +17,6 @@ fn quick() -> Criterion {
         .measurement_time(Duration::from_millis(400))
         .warm_up_time(Duration::from_millis(150))
 }
-
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e01_calls");
@@ -37,7 +31,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench

@@ -8,12 +8,7 @@ use segstack_scheme::{CheckPolicy, Engine};
 use std::time::Duration;
 
 fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
-    Engine::builder()
-        .strategy(s)
-        .config(cfg.clone())
-        .check_policy(policy)
-        .build()
-        .expect("engine")
+    Engine::builder().strategy(s).config(cfg.clone()).check_policy(policy).build().expect("engine")
 }
 
 fn quick() -> Criterion {
@@ -23,26 +18,21 @@ fn quick() -> Criterion {
         .warm_up_time(Duration::from_millis(150))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e02_capture_depth");
     for depth in [10u32, 100, 1000] {
         for s in [Strategy::Segmented, Strategy::Heap, Strategy::Copy] {
             let src = w::capture_at_depth(depth, 200);
-            g.bench_with_input(
-                BenchmarkId::new(format!("d{depth}"), s),
-                &src,
-                |b, src| {
-                    let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
-                    b.iter(|| e.eval(src).unwrap());
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("d{depth}"), s), &src, |b, src| {
+                let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
+                b.iter(|| e.eval(src).unwrap());
+            });
         }
     }
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench

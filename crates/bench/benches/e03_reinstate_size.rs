@@ -8,12 +8,7 @@ use segstack_scheme::{CheckPolicy, Engine};
 use std::time::Duration;
 
 fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
-    Engine::builder()
-        .strategy(s)
-        .config(cfg.clone())
-        .check_policy(policy)
-        .build()
-        .expect("engine")
+    Engine::builder().strategy(s).config(cfg.clone()).check_policy(policy).build().expect("engine")
 }
 
 fn quick() -> Criterion {
@@ -22,7 +17,6 @@ fn quick() -> Criterion {
         .measurement_time(Duration::from_millis(400))
         .warm_up_time(Duration::from_millis(150))
 }
-
 
 fn reinstate_latency(depth: u32, rounds: u32) -> String {
     format!(
@@ -44,20 +38,16 @@ fn bench(c: &mut Criterion) {
     for depth in [50u32, 500, 2000] {
         for s in [Strategy::Segmented, Strategy::Copy, Strategy::Heap] {
             let src = reinstate_latency(depth, 200);
-            g.bench_with_input(
-                BenchmarkId::new(format!("d{depth}"), s),
-                &src,
-                |b, src| {
-                    let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
-                    b.iter(|| e.eval(src).unwrap());
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("d{depth}"), s), &src, |b, src| {
+                let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
+                b.iter(|| e.eval(src).unwrap());
+            });
         }
     }
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench

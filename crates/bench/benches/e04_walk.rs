@@ -10,7 +10,6 @@ fn quick() -> Criterion {
         .warm_up_time(Duration::from_millis(150))
 }
 
-
 use segstack_core::{walker, ReturnAddress, TestCode, TestSlot};
 
 fn bench(c: &mut Criterion) {
@@ -36,7 +35,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench

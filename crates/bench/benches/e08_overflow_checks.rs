@@ -8,12 +8,7 @@ use segstack_scheme::{CheckPolicy, Engine};
 use std::time::Duration;
 
 fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
-    Engine::builder()
-        .strategy(s)
-        .config(cfg.clone())
-        .check_policy(policy)
-        .build()
-        .expect("engine")
+    Engine::builder().strategy(s).config(cfg.clone()).check_policy(policy).build().expect("engine")
 }
 
 fn quick() -> Criterion {
@@ -23,30 +18,21 @@ fn quick() -> Criterion {
         .warm_up_time(Duration::from_millis(150))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e08_overflow_checks");
-    let big = Config::builder()
-        .segment_slots(4 * 1024 * 1024)
-        .frame_bound(64)
-        .build()
-        .unwrap();
+    let big = Config::builder().segment_slots(4 * 1024 * 1024).frame_bound(64).build().unwrap();
     for (wname, src) in [("fib18", w::fib(18)), ("tail300k", w::tail_loop(300_000))] {
         for policy in [CheckPolicy::Always, CheckPolicy::Elide, CheckPolicy::Never] {
-            g.bench_with_input(
-                BenchmarkId::new(wname, policy),
-                &src,
-                |b, src| {
-                    let mut e = engine(Strategy::Segmented, &big, policy);
-                    b.iter(|| e.eval(src).unwrap());
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(wname, policy), &src, |b, src| {
+                let mut e = engine(Strategy::Segmented, &big, policy);
+                b.iter(|| e.eval(src).unwrap());
+            });
         }
     }
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench

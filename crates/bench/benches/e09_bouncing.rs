@@ -8,12 +8,7 @@ use segstack_scheme::{CheckPolicy, Engine};
 use std::time::Duration;
 
 fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
-    Engine::builder()
-        .strategy(s)
-        .config(cfg.clone())
-        .check_policy(policy)
-        .build()
-        .expect("engine")
+    Engine::builder().strategy(s).config(cfg.clone()).check_policy(policy).build().expect("engine")
 }
 
 fn quick() -> Criterion {
@@ -23,32 +18,22 @@ fn quick() -> Criterion {
         .warm_up_time(Duration::from_millis(150))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e09_bouncing");
-    let cfg = Config::builder()
-        .segment_slots(512)
-        .frame_bound(48)
-        .copy_bound(32)
-        .build()
-        .unwrap();
+    let cfg = Config::builder().segment_slots(512).frame_bound(48).copy_bound(32).build().unwrap();
     for depth in [40u32, 45] {
         for s in [Strategy::Cache, Strategy::Segmented] {
             let src = w::boundary_loop(depth, 2_000);
-            g.bench_with_input(
-                BenchmarkId::new(format!("park{depth}"), s),
-                &src,
-                |b, src| {
-                    let mut e = engine(s, &cfg, CheckPolicy::Elide);
-                    b.iter(|| e.eval(src).unwrap());
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("park{depth}"), s), &src, |b, src| {
+                let mut e = engine(s, &cfg, CheckPolicy::Elide);
+                b.iter(|| e.eval(src).unwrap());
+            });
         }
     }
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench

@@ -8,12 +8,7 @@ use segstack_scheme::{CheckPolicy, Engine};
 use std::time::Duration;
 
 fn engine(s: Strategy, cfg: &Config, policy: CheckPolicy) -> Engine {
-    Engine::builder()
-        .strategy(s)
-        .config(cfg.clone())
-        .check_policy(policy)
-        .build()
-        .expect("engine")
+    Engine::builder().strategy(s).config(cfg.clone()).check_policy(policy).build().expect("engine")
 }
 
 fn quick() -> Criterion {
@@ -23,13 +18,9 @@ fn quick() -> Criterion {
         .warm_up_time(Duration::from_millis(150))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e12_cont_intensive");
-    for (wname, src) in [
-        ("ctak12", w::ctak(12, 8, 4)),
-        ("gen20x50", w::generator_drain(20, 50)),
-    ] {
+    for (wname, src) in [("ctak12", w::ctak(12, 8, 4)), ("gen20x50", w::generator_drain(20, 50))] {
         for s in [Strategy::Segmented, Strategy::Heap] {
             g.bench_with_input(BenchmarkId::new(wname, s), &src, |b, src| {
                 let mut e = engine(s, &Config::default(), CheckPolicy::Elide);
@@ -40,7 +31,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench

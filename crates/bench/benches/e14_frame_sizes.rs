@@ -12,7 +12,6 @@ fn quick() -> Criterion {
         .warm_up_time(Duration::from_millis(150))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e14_frame_sizes");
     // Measures compilation + analysis of the full corpus.
@@ -29,7 +28,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench

@@ -97,7 +97,16 @@ fn main() {
             "segment={} copy-bound={} frame-bound={} repeat={}",
             args.segment, args.copy_bound, args.frame_bound, args.repeat
         ),
-        &["strategy", "time", "result", "captures", "reinstates", "overflows", "slots copied", "heap frames"],
+        &[
+            "strategy",
+            "time",
+            "result",
+            "captures",
+            "reinstates",
+            "overflows",
+            "slots copied",
+            "heap frames",
+        ],
     );
     let mut baseline: Option<f64> = None;
     for s in Strategy::ALL {

@@ -1,7 +1,7 @@
 //! Prints every experiment table (or the ones named on the command line).
 //!
 //! Run with `cargo run -p segstack-bench --release --bin harness`.
-//! Pass experiment ids (`e01`..`e14`) to run a subset.
+//! Pass experiment ids (`e01`..`e15`, `a1`..`a3`) to run a subset.
 
 use segstack_bench::experiments;
 
@@ -14,7 +14,7 @@ fn main() {
         all.into_iter().filter(|(id, _)| filters.iter().any(|f| f == id)).collect()
     };
     if selected.is_empty() {
-        eprintln!("no experiment matches; known ids: e01..e14");
+        eprintln!("no experiment matches; known ids: e01..e15, a1..a3");
         std::process::exit(2);
     }
     println!("# segstack experiment harness");

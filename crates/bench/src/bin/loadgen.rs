@@ -1,0 +1,144 @@
+//! Load generator for the `segstack-serve` runtime.
+//!
+//! Drives a mixed workload (fib / tak / tail-loop / ctak across every
+//! control-stack strategy) through a worker pool and reports throughput,
+//! latency percentiles and per-strategy fairness.
+//!
+//! ```text
+//! cargo run --release -p segstack-bench --bin loadgen -- --workers 4
+//! ```
+//!
+//! Flags: `--workers N` (default 4), `--jobs N` (default 1000),
+//! `--quantum TICKS` (default 5000), `--seed N` (default 42),
+//! `--json` (append the runtime metrics snapshot as JSON).
+
+use segstack_bench::serve_load::{percentile, run_load, LoadReport};
+
+struct Args {
+    workers: usize,
+    jobs: usize,
+    quantum: u64,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { workers: 4, jobs: 1000, quantum: 5_000, seed: 42, json: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} needs a number")))
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = num("--workers") as usize,
+            "--jobs" => args.jobs = num("--jobs") as usize,
+            "--quantum" => args.quantum = num("--quantum"),
+            "--seed" => args.seed = num("--seed"),
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: loadgen [--workers N] [--jobs N] [--quantum TICKS] [--seed N] [--json]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(2);
+}
+
+fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}ms", d.as_secs_f64() * 1e3)
+}
+
+fn print_report(r: &LoadReport, quantum: u64) {
+    println!("# segstack-serve loadgen");
+    println!(
+        "workers={} jobs={} quantum={} wall={:.2}s",
+        r.workers,
+        r.submitted,
+        quantum,
+        r.wall.as_secs_f64()
+    );
+    println!(
+        "completed={} failed={} drops=0 throughput={:.0} jobs/s",
+        r.completed,
+        r.failed,
+        r.throughput()
+    );
+    println!(
+        "latency p50={} p99={} fairness(max/min mean latency across strategies)={:.2}",
+        ms(r.latency_pct(0.50)),
+        ms(r.latency_pct(0.99)),
+        r.fairness()
+    );
+
+    println!("\n## per strategy");
+    println!(
+        "{:<12} {:>5} {:>10} {:>10} {:>10} {:>12}",
+        "strategy", "jobs", "p50", "p99", "mean", "ticks/job"
+    );
+    for (name, samples) in r.by_strategy() {
+        let mean = samples.iter().map(|s| s.latency.as_secs_f64()).sum::<f64>()
+            / samples.len().max(1) as f64;
+        let ticks = samples.iter().map(|s| s.ticks).sum::<u64>() / samples.len().max(1) as u64;
+        println!(
+            "{:<12} {:>5} {:>10} {:>10} {:>9.2}ms {:>12}",
+            name,
+            samples.len(),
+            ms(percentile(samples.iter().map(|s| s.latency), 0.50)),
+            ms(percentile(samples.iter().map(|s| s.latency), 0.99)),
+            mean * 1e3,
+            ticks
+        );
+    }
+
+    println!("\n## per workload class");
+    println!(
+        "{:<12} {:>5} {:>10} {:>10} {:>12} {:>12}",
+        "class", "jobs", "p50", "p99", "quanta/job", "ticks/job"
+    );
+    for (name, samples) in r.by_class() {
+        let quanta = samples.iter().map(|s| s.quanta).sum::<u64>() / samples.len().max(1) as u64;
+        let ticks = samples.iter().map(|s| s.ticks).sum::<u64>() / samples.len().max(1) as u64;
+        println!(
+            "{:<12} {:>5} {:>10} {:>10} {:>12} {:>12}",
+            name,
+            samples.len(),
+            ms(percentile(samples.iter().map(|s| s.latency), 0.50)),
+            ms(percentile(samples.iter().map(|s| s.latency), 0.99)),
+            quanta,
+            ticks
+        );
+    }
+
+    let total = r.snapshot.total();
+    println!(
+        "\nruntime: admitted={} completed={} quanta={} ticks={} busy={:.2}s across {} workers",
+        total.admitted,
+        total.completed,
+        total.quanta,
+        total.ticks,
+        std::time::Duration::from_nanos(total.busy_nanos).as_secs_f64(),
+        r.snapshot.workers.len()
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let report = run_load(args.workers, args.jobs, args.quantum, args.seed);
+    print_report(&report, args.quantum);
+    if args.json {
+        println!("\n{}", report.snapshot.to_json());
+    }
+    if report.failed > 0 {
+        std::process::exit(1);
+    }
+}

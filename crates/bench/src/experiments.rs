@@ -71,8 +71,11 @@ pub fn e01_calls() -> Table {
          traditional stack's cheap call interface (§1, §2, Fig 1-3)",
         &["workload", "strategy", "time", "ns/call-op", "heap frames", "slots copied"],
     );
-    let workloads =
-        [("fib 22", w::fib(22)), ("tak 16 10 4", w::tak(16, 10, 4)), ("tail-loop 300k", w::tail_loop(300_000))];
+    let workloads = [
+        ("fib 22", w::fib(22)),
+        ("tak 16 10 4", w::tak(16, 10, 4)),
+        ("tail-loop 300k", w::tail_loop(300_000)),
+    ];
     for (name, src) in &workloads {
         for s in Strategy::ALL {
             let r = measure_on(s, &cfg_default(), src);
@@ -87,8 +90,10 @@ pub fn e01_calls() -> Table {
             ]);
         }
     }
-    t.note("the heap model allocates a frame per call AND per tail call; stack-based \
-            strategies allocate none");
+    t.note(
+        "the heap model allocates a frame per call AND per tail call; stack-based \
+            strategies allocate none",
+    );
     t
 }
 
@@ -114,8 +119,10 @@ pub fn e02_capture_depth() -> Table {
             ]);
         }
     }
-    t.note("a cycle is capture + return past the seal; segmented pays a bounded \
-            underflow copy per cycle while copy/cache pay the whole stack depth");
+    t.note(
+        "a cycle is capture + return past the seal; segmented pays a bounded \
+            underflow copy per cycle while copy/cache pay the whole stack depth",
+    );
     t
 }
 
@@ -159,8 +166,10 @@ pub fn e03_reinstate_size() -> Table {
             ]);
         }
     }
-    t.note("copy reinstates the whole image (linear in depth); segmented copies a \
-            bounded prefix and splits the rest lazily; heap shares frames");
+    t.note(
+        "copy reinstates the whole image (linear in depth); segmented copies a \
+            bounded prefix and splits the rest lazily; heap shares frames",
+    );
     t
 }
 
@@ -174,11 +183,8 @@ pub fn e04_walk() -> Table {
     );
     let code = std::rc::Rc::new(TestCode::new());
     for frames in [16usize, 256, 4096] {
-        let cfg = Config::builder()
-            .segment_slots(frames * 8 + 1024)
-            .frame_bound(64)
-            .build()
-            .unwrap();
+        let cfg =
+            Config::builder().segment_slots(frames * 8 + 1024).frame_bound(64).build().unwrap();
         let mut stack = SegmentedStack::<TestSlot>::new(cfg, code.clone()).unwrap();
         sim::push_frames(&mut stack, &code, frames, 8);
         let k = stack.capture();
@@ -213,19 +219,17 @@ pub fn e04_walk() -> Table {
                 n += segstack_core::walker::frames(&b, 0, fbase, prev.unwrap(), &code2).len();
             }
             let nanos = start.elapsed().as_nanos() as f64 / iters as f64;
-            t.row([
-                frames.to_string(),
-                fmt_ns(nanos),
-                format!("{:.1}", nanos / frames as f64),
-            ]);
+            t.row([frames.to_string(), fmt_ns(nanos), format!("{:.1}", nanos / frames as f64)]);
             let _ = n;
             let _ = retained_nanos;
             b
         };
         let _ = (buf, total);
     }
-    t.note("linear in frames with a small per-frame constant: one displacement \
-            lookup and one slot read per frame");
+    t.note(
+        "linear in frames with a small per-frame constant: one displacement \
+            lookup and one slot read per frame",
+    );
     t
 }
 
@@ -315,11 +319,7 @@ pub fn e08_overflow_checks() -> Table {
         &["workload", "policy", "time", "checks executed", "checks elided"],
     );
     // `Never` is only sound when the segment outruns the recursion.
-    let big = Config::builder()
-        .segment_slots(4 * 1024 * 1024)
-        .frame_bound(64)
-        .build()
-        .unwrap();
+    let big = Config::builder().segment_slots(4 * 1024 * 1024).frame_bound(64).build().unwrap();
     for (name, src) in [
         ("fib 22", w::fib(22)),
         ("tak 16 10 4", w::tak(16, 10, 4)),
@@ -338,8 +338,10 @@ pub fn e08_overflow_checks() -> Table {
             ]);
         }
     }
-    t.note("primitive applications never push frames, so they are check-free leaf \
-            calls by construction; tail calls never check in any policy");
+    t.note(
+        "primitive applications never push frames, so they are check-free leaf \
+            calls by construction; tail calls never check in any policy",
+    );
     t
 }
 
@@ -352,12 +354,7 @@ pub fn e09_bouncing() -> Table {
          (§2, §5)",
         &["park depth", "strategy", "time", "overflows", "underflows", "slots copied"],
     );
-    let cfg = Config::builder()
-        .segment_slots(512)
-        .frame_bound(48)
-        .copy_bound(32)
-        .build()
-        .unwrap();
+    let cfg = Config::builder().segment_slots(512).frame_bound(48).copy_bound(32).build().unwrap();
     let iters = 20_000u32;
     // Find the parking depth that puts the crossing loop exactly on the
     // cache boundary: the shallowest depth at which one iteration already
@@ -383,8 +380,10 @@ pub fn e09_bouncing() -> Table {
             ]);
         }
     }
-    t.note("cache overflow/underflow each copy ~a cacheful; segmented overflow moves \
-            only the partial frame and keeps running in the new segment");
+    t.note(
+        "cache overflow/underflow each copy ~a cacheful; segmented overflow moves \
+            only the partial frame and keeps running in the new segment",
+    );
     t
 }
 
@@ -408,8 +407,10 @@ pub fn e10_looper() -> Table {
             e.stack_stats().chain_records.to_string(),
         ]);
     }
-    t.note("heap-family strategies allocate per call by design, but the *chain* \
-            stays constant for every strategy");
+    t.note(
+        "heap-family strategies allocate per call by design, but the *chain* \
+            stays constant for every strategy",
+    );
     t
 }
 
@@ -419,7 +420,14 @@ pub fn e11_repeated_capture() -> Table {
         "E11: memory retained by K captures of one depth-D stack",
         "the naive copy model retains K full copies; the segmented model shares one \
          sealed image across all K; heap/hybrid share the frame list (§6, Danvy)",
-        &["strategy", "K", "D", "sum of per-kont reachable slots", "heap slots allocated", "slots copied"],
+        &[
+            "strategy",
+            "K",
+            "D",
+            "sum of per-kont reachable slots",
+            "heap slots allocated",
+            "slots copied",
+        ],
     );
     let (k_count, depth) = (25u32, 800u32);
     let src = format!(
@@ -455,10 +463,12 @@ pub fn e11_repeated_capture() -> Table {
             r.metrics.slots_copied.to_string(),
         ]);
     }
-    t.note("per-kont sums double-count shared structure, so they match across \
+    t.note(
+        "per-kont sums double-count shared structure, so they match across \
             strategies; the real memory cost is 'heap slots allocated': copy/cache \
             materialize K full images (Danvy's blowup) while segmented shares the one \
-            sealed stack and heap/hybrid share the frame list");
+            sealed stack and heap/hybrid share the frame list",
+    );
     t
 }
 
@@ -565,6 +575,72 @@ pub fn e14_frame_sizes() -> Table {
     t
 }
 
+/// E15 — worker-count scaling of the serve runtime (engines from
+/// continuations as a multi-worker service; §4–§5 engine application).
+pub fn e15_serve_scaling() -> Table {
+    let mut t = Table::new(
+        "E15: serve-runtime throughput vs. worker count (mixed 400-job load)",
+        "shared-nothing workers with engine-quantum preemption scale aggregate \
+         throughput near-linearly until the host runs out of cores; fairness stays \
+         flat because quanta are granted round-robin",
+        &[
+            "workers",
+            "strategy",
+            "jobs",
+            "jobs/s",
+            "speedup vs 1",
+            "p50 latency",
+            "p99 latency",
+            "fairness",
+        ],
+    );
+    let (jobs, quantum, seed) = (400usize, 5_000u64, 42u64);
+    let mut base = None;
+    for workers in [1usize, 2, 4, 8] {
+        let r = crate::serve_load::run_load(workers, jobs, quantum, seed);
+        assert_eq!(r.failed, 0, "load run must complete cleanly");
+        let tput = r.throughput();
+        let base_tput = *base.get_or_insert(tput);
+        t.row([
+            workers.to_string(),
+            "(all)".to_string(),
+            r.completed.to_string(),
+            format!("{tput:.0}"),
+            fmt_ratio(tput / base_tput),
+            fmt_ns(r.latency_pct(0.50).as_nanos() as f64),
+            fmt_ns(r.latency_pct(0.99).as_nanos() as f64),
+            format!("{:.2}", r.fairness()),
+        ]);
+        let wall = r.wall.as_secs_f64().max(1e-9);
+        for (name, samples) in r.by_strategy() {
+            let p = |q: f64| crate::serve_load::percentile(samples.iter().map(|s| s.latency), q);
+            t.row([
+                workers.to_string(),
+                name,
+                samples.len().to_string(),
+                format!("{:.0}", samples.len() as f64 / wall),
+                String::new(),
+                fmt_ns(p(0.50).as_nanos() as f64),
+                fmt_ns(p(0.99).as_nanos() as f64),
+                String::new(),
+            ]);
+        }
+    }
+    t.note(
+        "each worker owns its engines outright (the VM is deliberately not \
+            Send); the only cross-thread traffic is the bounded admission queue",
+    );
+    t.note(
+        "latency counts queue wait (all 400 jobs are submitted up front), so \
+            per-job latency falls with worker count alongside aggregate throughput",
+    );
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    t.note(format!(
+        "this host exposes {cores} core(s); speedup saturates at min(workers, cores) — \
+         a flat curve on a 1-core host measures pure scheduling overhead (~5-10%)"
+    ));
+    t
+}
 
 /// A1 — ablation: the §4 empty-segment capture rule on vs. off.
 pub fn a1_tail_rule() -> Table {
@@ -592,8 +668,10 @@ pub fn a1_tail_rule() -> Table {
             ]);
         }
     }
-    t.note("with the rule: O(1) records regardless of n; without: one record per \
-            capture, linearly growing memory and teardown cost");
+    t.note(
+        "with the rule: O(1) records regardless of n; without: one record per \
+            capture, linearly growing memory and teardown cost",
+    );
     t
 }
 
@@ -606,13 +684,11 @@ pub fn a2_segment_size() -> Table {
         &["segment slots", "workload", "time", "overflows", "slots copied"],
     );
     for slots in [256usize, 1024, 4096, 16 * 1024, 64 * 1024] {
-        let cfg = Config::builder()
-            .segment_slots(slots)
-            .frame_bound(64)
-            .copy_bound(128)
-            .build()
-            .unwrap();
-        for (name, src) in [("deep-sum 60k", w::deep_sum(60_000)), ("ctak 14 10 4", w::ctak(14, 10, 4))] {
+        let cfg =
+            Config::builder().segment_slots(slots).frame_bound(64).copy_bound(128).build().unwrap();
+        for (name, src) in
+            [("deep-sum 60k", w::deep_sum(60_000)), ("ctak 14 10 4", w::ctak(14, 10, 4))]
+        {
             let r = measure_on(Strategy::Segmented, &cfg, &src);
             t.row([
                 slots.to_string(),
@@ -677,6 +753,7 @@ pub fn all() -> Vec<Experiment> {
         ("e12", e12_cont_intensive),
         ("e13", e13_typical),
         ("e14", e14_frame_sizes),
+        ("e15", e15_serve_scaling),
         ("a1", a1_tail_rule),
         ("a2", a2_segment_size),
         ("a3", a3_pooling),

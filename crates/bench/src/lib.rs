@@ -12,10 +12,14 @@
 //!   wall-clock times and architecture-independent counters.
 //! * `cargo bench -p segstack-bench` — Criterion microbenchmarks of the key
 //!   comparisons, with statistical rigor.
+//! * `cargo run -p segstack-bench --release --bin loadgen -- --workers 4` —
+//!   drives a mixed workload through the `segstack-serve` runtime and
+//!   reports throughput, latency percentiles and fairness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod serve_load;
 pub mod table;
 pub mod workloads;

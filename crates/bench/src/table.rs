@@ -19,11 +19,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        claim: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, claim: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
             claim: claim.into(),

@@ -6,9 +6,7 @@
 
 /// Doubly recursive Fibonacci — the canonical call-intensive benchmark.
 pub fn fib(n: u32) -> String {
-    format!(
-        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib {n})"
-    )
+    format!("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib {n})")
 }
 
 /// Takeuchi's function — deep non-tail recursion.

@@ -47,11 +47,8 @@ impl Control {
         config: Config,
         policy: CheckPolicy,
     ) -> Result<Self, SchemeError> {
-        let engine = Engine::builder()
-            .strategy(strategy)
-            .config(config)
-            .check_policy(policy)
-            .build()?;
+        let engine =
+            Engine::builder().strategy(strategy).config(config).check_policy(policy).build()?;
         Self::with_engine(engine)
     }
 
@@ -240,9 +237,7 @@ mod tests {
     fn engines_complete_and_expire() {
         let mut k = kit();
         // A fast thunk completes within one quantum.
-        let v = k
-            .eval("(engine-run-to-completion (make-engine (lambda () 42)) 1000)")
-            .unwrap();
+        let v = k.eval("(engine-run-to-completion (make-engine (lambda () 42)) 1000)").unwrap();
         assert_eq!(v.to_string(), "(42 . 1)");
         // A slow loop needs several quanta.
         let v = k
@@ -403,9 +398,7 @@ mod thread_tests {
     fn many_threads_share_fairly() {
         let mut k = kit();
         let thunks: Vec<String> = (0..8)
-            .map(|i| {
-                format!("(lambda () (let loop ((n 300)) (if (= n 0) {i} (loop (- n 1)))))")
-            })
+            .map(|i| format!("(lambda () (let loop ((n 300)) (if (= n 0) {i} (loop (- n 1)))))"))
             .collect();
         let refs: Vec<&str> = thunks.iter().map(String::as_str).collect();
         let results = k.run_threads(&refs, 60).unwrap();

@@ -34,5 +34,7 @@
 
 mod kit;
 pub mod libs;
+mod step;
 
 pub use kit::{Control, CTAK};
+pub use step::{EngineJob, Step};

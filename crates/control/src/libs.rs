@@ -223,7 +223,6 @@ pub const AMB: &str = r#"
 (define (queens-count n) (length (queens n)))
 "#;
 
-
 /// Cooperative threads with preemptive time slicing, built on engines — the
 /// direction of the paper's closing line ("we are investigating the use of
 /// similar mechanisms in the implementation of concurrent continuations",
@@ -303,8 +302,7 @@ mod tests {
     #[test]
     fn libraries_parse() {
         for (name, src) in ALL {
-            let forms = segstack_scheme::read_all(src)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let forms = segstack_scheme::read_all(src).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(!forms.is_empty(), "{name} is empty");
         }
     }

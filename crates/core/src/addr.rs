@@ -227,10 +227,7 @@ mod tests {
 
     #[test]
     fn return_address_display() {
-        assert_eq!(
-            format!("{}", ReturnAddress::Code(CodeAddr::new(1, 2))),
-            "ra@1:2"
-        );
+        assert_eq!(format!("{}", ReturnAddress::Code(CodeAddr::new(1, 2))), "ra@1:2");
         assert_eq!(format!("{}", ReturnAddress::Underflow), "ra@underflow");
         assert_eq!(format!("{}", ReturnAddress::Exit), "ra@exit");
     }

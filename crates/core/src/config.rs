@@ -222,11 +222,7 @@ mod tests {
 
     #[test]
     fn rejects_segment_smaller_than_frame_plus_reserve() {
-        let err = Config::builder()
-            .segment_slots(100)
-            .frame_bound(64)
-            .build()
-            .unwrap_err();
+        let err = Config::builder().segment_slots(100).frame_bound(64).build().unwrap_err();
         assert!(matches!(err, StackError::FrameTooLarge { .. }));
     }
 
@@ -238,12 +234,8 @@ mod tests {
     #[test]
     fn tiny_but_consistent_config_is_accepted() {
         // Used by failure-injection tests: overflow on nearly every call.
-        let cfg = Config::builder()
-            .segment_slots(48)
-            .frame_bound(16)
-            .copy_bound(8)
-            .build()
-            .unwrap();
+        let cfg =
+            Config::builder().segment_slots(48).frame_bound(16).copy_bound(8).build().unwrap();
         assert_eq!(cfg.esp_reserve(), 32);
     }
 }

@@ -64,10 +64,7 @@ mod tests {
     #[test]
     fn display_messages() {
         let e = StackError::ForeignContinuation { strategy: "segmented" };
-        assert_eq!(
-            e.to_string(),
-            "continuation was not created by the segmented strategy"
-        );
+        assert_eq!(e.to_string(), "continuation was not created by the segmented strategy");
         let e = StackError::FrameTooLarge { requested: 99, bound: 64 };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("64"));

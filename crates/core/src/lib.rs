@@ -63,6 +63,7 @@ mod drops;
 mod error;
 mod metrics;
 mod record;
+pub mod rng;
 mod segment;
 mod segmented;
 pub mod sim;

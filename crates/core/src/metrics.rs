@@ -72,22 +72,94 @@ impl Metrics {
 
     /// Adds every counter of `other` into `self`.
     pub fn absorb(&mut self, other: &Metrics) {
-        self.calls += other.calls;
-        self.tail_calls += other.tail_calls;
-        self.returns += other.returns;
-        self.captures += other.captures;
-        self.reinstatements += other.reinstatements;
-        self.splits += other.splits;
-        self.overflows += other.overflows;
-        self.underflows += other.underflows;
-        self.segments_allocated += other.segments_allocated;
-        self.segments_reused += other.segments_reused;
-        self.slots_copied += other.slots_copied;
-        self.heap_frames_allocated += other.heap_frames_allocated;
-        self.heap_slots_allocated += other.heap_slots_allocated;
-        self.stack_records_allocated += other.stack_records_allocated;
-        self.checks_executed += other.checks_executed;
-        self.checks_elided += other.checks_elided;
+        self.merge(other);
+    }
+
+    /// Merges `other` into `self` counter by counter — lossless
+    /// aggregation of per-worker records into a runtime-wide total
+    /// (saturating, so a pathological sum cannot wrap).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (mine, theirs) in self.fields_mut().into_iter().zip(other.fields()) {
+            *mine = mine.saturating_add(theirs);
+        }
+    }
+
+    /// Every counter, in the fixed field order used by
+    /// [`Metrics::FIELD_NAMES`].
+    pub fn fields(&self) -> [u64; 16] {
+        [
+            self.calls,
+            self.tail_calls,
+            self.returns,
+            self.captures,
+            self.reinstatements,
+            self.splits,
+            self.overflows,
+            self.underflows,
+            self.segments_allocated,
+            self.segments_reused,
+            self.slots_copied,
+            self.heap_frames_allocated,
+            self.heap_slots_allocated,
+            self.stack_records_allocated,
+            self.checks_executed,
+            self.checks_elided,
+        ]
+    }
+
+    fn fields_mut(&mut self) -> [&mut u64; 16] {
+        [
+            &mut self.calls,
+            &mut self.tail_calls,
+            &mut self.returns,
+            &mut self.captures,
+            &mut self.reinstatements,
+            &mut self.splits,
+            &mut self.overflows,
+            &mut self.underflows,
+            &mut self.segments_allocated,
+            &mut self.segments_reused,
+            &mut self.slots_copied,
+            &mut self.heap_frames_allocated,
+            &mut self.heap_slots_allocated,
+            &mut self.stack_records_allocated,
+            &mut self.checks_executed,
+            &mut self.checks_elided,
+        ]
+    }
+
+    /// Counter names matching [`Metrics::fields`] positionally.
+    pub const FIELD_NAMES: [&'static str; 16] = [
+        "calls",
+        "tail_calls",
+        "returns",
+        "captures",
+        "reinstatements",
+        "splits",
+        "overflows",
+        "underflows",
+        "segments_allocated",
+        "segments_reused",
+        "slots_copied",
+        "heap_frames_allocated",
+        "heap_slots_allocated",
+        "stack_records_allocated",
+        "checks_executed",
+        "checks_elided",
+    ];
+
+    /// A single-line JSON object with one member per counter, in
+    /// [`Metrics::FIELD_NAMES`] order. Counters are plain JSON numbers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in Self::FIELD_NAMES.iter().zip(self.fields()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -151,5 +223,46 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!Metrics::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn merge_is_lossless_over_every_field() {
+        // Build two records with distinct primes in every counter so any
+        // dropped or double-counted field changes the sum.
+        let mut a = Metrics::default();
+        let mut b = Metrics::default();
+        for (i, f) in a.fields_mut().into_iter().enumerate() {
+            *f = (i as u64 + 1) * 3;
+        }
+        for (i, f) in b.fields_mut().into_iter().enumerate() {
+            *f = (i as u64 + 1) * 1000;
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        for (i, (ma, (fa, fb))) in
+            merged.fields().into_iter().zip(a.fields().into_iter().zip(b.fields())).enumerate()
+        {
+            assert_eq!(ma, fa + fb, "field {} dropped by merge", Metrics::FIELD_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = Metrics { calls: u64::MAX - 1, ..Metrics::default() };
+        let b = Metrics { calls: 100, ..Metrics::default() };
+        a.merge(&b);
+        assert_eq!(a.calls, u64::MAX);
+    }
+
+    #[test]
+    fn json_names_every_field() {
+        let m = Metrics { calls: 7, checks_elided: 9, ..Metrics::default() };
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"calls\":7"));
+        assert!(json.contains("\"checks_elided\":9"));
+        for name in Metrics::FIELD_NAMES {
+            assert!(json.contains(&format!("\"{name}\":")), "missing {name}");
+        }
     }
 }

@@ -1,0 +1,106 @@
+//! A tiny deterministic pseudo-random generator.
+//!
+//! The build environment is offline, so the usual `rand`/`proptest`
+//! crates are unavailable; this SplitMix64 generator backs the
+//! randomized property tests and the load generator instead. It is
+//! deliberately simple: fixed seeds make every "random" test and
+//! workload mix exactly reproducible across runs and hosts.
+
+/// SplitMix64 (Steele, Lea & Flood): full 64-bit period, passes BigCrush,
+/// two xor-shift-multiply rounds per draw.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[lo, hi)`. Panics if the range is empty.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniform signed draw in `[lo, hi)`. Panics if the range is empty.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add((self.next_u64() % lo.abs_diff(hi)) as i64)
+    }
+
+    /// A fair coin flip.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.gen_range(0, items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0, i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_draws_stay_in_range() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10, 20);
+            assert!((10..20).contains(&v));
+            let s = r.gen_range_i64(-5, 5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn range_covers_both_ends() {
+        let mut r = SplitMix64::new(3);
+        let draws: Vec<u64> = (0..200).map(|_| r.gen_range(0, 4)).collect();
+        for want in 0..4 {
+            assert!(draws.contains(&want), "never drew {want}");
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SplitMix64::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+}

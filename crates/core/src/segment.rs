@@ -69,7 +69,11 @@ impl<S: StackSlot> SegmentAllocator<S> {
     ///
     /// Returns [`StackError::OutOfStackMemory`] when a configured budget is
     /// exhausted (failure injection).
-    pub fn alloc(&mut self, min_len: usize, metrics: &mut Metrics) -> Result<Buffer<S>, StackError> {
+    pub fn alloc(
+        &mut self,
+        min_len: usize,
+        metrics: &mut Metrics,
+    ) -> Result<Buffer<S>, StackError> {
         let want = min_len.max(self.default_len);
         if let Some(pos) = self.pool.iter().position(|b| b.borrow().len() >= want) {
             metrics.segments_reused += 1;

@@ -272,9 +272,13 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
         self.buf.borrow_mut()[self.fp + i] = v;
     }
 
-    fn call(&mut self, d: usize, ra: CodeAddr, nargs: usize, check: bool)
-        -> Result<(), StackError>
-    {
+    fn call(
+        &mut self,
+        d: usize,
+        ra: CodeAddr,
+        nargs: usize,
+        check: bool,
+    ) -> Result<(), StackError> {
         debug_assert!(d >= 1, "a caller frame occupies at least its return-address slot");
         self.metrics.calls += 1;
         let bound = self.cfg.frame_bound();
@@ -426,8 +430,7 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
                 }
                 None => {
                     drop(sealed);
-                    self.buf.borrow_mut()[self.base] =
-                        S::from_return_address(ReturnAddress::Exit);
+                    self.buf.borrow_mut()[self.base] = S::from_return_address(ReturnAddress::Exit);
                     self.fp = self.base;
                     self.link = None;
                     return Ok(ReturnAddress::Exit);
@@ -573,12 +576,7 @@ mod tests {
     use crate::slot::TestSlot;
 
     fn small_cfg() -> Config {
-        Config::builder()
-            .segment_slots(256)
-            .frame_bound(16)
-            .copy_bound(32)
-            .build()
-            .unwrap()
+        Config::builder().segment_slots(256).frame_bound(16).copy_bound(32).build().unwrap()
     }
 
     fn setup(cfg: Config) -> (Rc<TestCode>, SegmentedStack<TestSlot>) {
@@ -746,7 +744,11 @@ mod tests {
         for (i, ra) in ras.into_iter().enumerate().rev() {
             assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra), "return {i}");
             if i > 0 {
-                assert_eq!(stack.get(1), TestSlot::Int(i as i64 - 1), "caller arg after return {i}");
+                assert_eq!(
+                    stack.get(1),
+                    TestSlot::Int(i as i64 - 1),
+                    "caller arg after return {i}"
+                );
             }
         }
         assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
@@ -757,12 +759,8 @@ mod tests {
 
     #[test]
     fn underflow_reinstate_is_bounded_by_copy_bound() {
-        let cfg = Config::builder()
-            .segment_slots(4096)
-            .frame_bound(16)
-            .copy_bound(32)
-            .build()
-            .unwrap();
+        let cfg =
+            Config::builder().segment_slots(4096).frame_bound(16).copy_bound(32).build().unwrap();
         let (code, mut stack) = setup(cfg);
         for i in 0..100 {
             call1(&mut stack, &code, 8, i, true);
@@ -778,12 +776,8 @@ mod tests {
 
     #[test]
     fn split_preserves_full_unwind() {
-        let cfg = Config::builder()
-            .segment_slots(4096)
-            .frame_bound(16)
-            .copy_bound(24)
-            .build()
-            .unwrap();
+        let cfg =
+            Config::builder().segment_slots(4096).frame_bound(16).copy_bound(24).build().unwrap();
         let (code, mut stack) = setup(cfg);
         let mut ras = Vec::new();
         for i in 0..50 {
@@ -802,12 +796,8 @@ mod tests {
 
     #[test]
     fn multiple_reinstatements_after_split_are_consistent() {
-        let cfg = Config::builder()
-            .segment_slots(4096)
-            .frame_bound(16)
-            .copy_bound(24)
-            .build()
-            .unwrap();
+        let cfg =
+            Config::builder().segment_slots(4096).frame_bound(16).copy_bound(24).build().unwrap();
         let (code, mut stack) = setup(cfg);
         for i in 0..50 {
             call1(&mut stack, &code, 8, i, true);

@@ -36,9 +36,7 @@ pub fn push_frames(
     for i in 0..depth {
         let ra = code.ret_point(d);
         stack.set(d + 1, TestSlot::Int(i as i64));
-        stack
-            .call(d, ra, 1, true)
-            .expect("synthetic workload exceeded a configured budget");
+        stack.call(d, ra, 1, true).expect("synthetic workload exceeded a configured budget");
         ras.push(ra);
     }
     ras
@@ -145,12 +143,8 @@ mod tests {
 
     fn setup() -> (Rc<TestCode>, SegmentedStack<TestSlot>) {
         let code = Rc::new(TestCode::new());
-        let cfg = Config::builder()
-            .segment_slots(512)
-            .frame_bound(16)
-            .copy_bound(32)
-            .build()
-            .unwrap();
+        let cfg =
+            Config::builder().segment_slots(512).frame_bound(16).copy_bound(32).build().unwrap();
         let stack = SegmentedStack::new(cfg, code.clone()).unwrap();
         (code, stack)
     }

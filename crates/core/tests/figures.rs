@@ -12,12 +12,7 @@ use segstack_core::{
 };
 
 fn cfg(segment: usize, frame: usize, copy: usize) -> Config {
-    Config::builder()
-        .segment_slots(segment)
-        .frame_bound(frame)
-        .copy_bound(copy)
-        .build()
-        .unwrap()
+    Config::builder().segment_slots(segment).frame_bound(frame).copy_bound(copy).build().unwrap()
 }
 
 fn machine(c: Config) -> (Rc<TestCode>, SegmentedStack<TestSlot>) {

@@ -1,6 +1,10 @@
 //! Property tests for the stack walker and continuation splitting.
+//!
+//! Randomized inputs come from a seeded [`SplitMix64`] stream (the
+//! offline stand-in for proptest), so every case is reproducible: a
+//! failure message names the seed that produced it.
 
-use proptest::prelude::*;
+use segstack_core::rng::SplitMix64;
 use segstack_core::{
     walker, Config, ControlStack, ReturnAddress, SegmentedStack, TestCode, TestSlot,
 };
@@ -24,102 +28,133 @@ fn build(code: &TestCode, sizes: &[usize]) -> (Vec<TestSlot>, usize, segstack_co
     (buf, fbase, prev.expect("at least one frame"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+/// Draws a frame-size vector the way the old proptest strategy did:
+/// 1..40 frames of 2..20 slots each.
+fn arb_sizes(rng: &mut SplitMix64) -> Vec<usize> {
+    let len = rng.gen_range(1, 40) as usize;
+    (0..len).map(|_| rng.gen_range(2, 20) as usize).collect()
+}
 
-    /// The walker reconstructs exactly the frames that were laid down,
-    /// top-down, from nothing but return addresses and code-stream words.
-    #[test]
-    fn walk_reconstructs_the_layout(sizes in proptest::collection::vec(2usize..20, 1..40)) {
+/// The walker reconstructs exactly the frames that were laid down,
+/// top-down, from nothing but return addresses and code-stream words.
+#[test]
+fn walk_reconstructs_the_layout() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let sizes = arb_sizes(&mut rng);
         let code = TestCode::new();
         let (buf, top, ra) = build(&code, &sizes);
         let frames = walker::frames(&buf, 0, top, ra, &code);
-        prop_assert_eq!(frames.len(), sizes.len());
+        assert_eq!(frames.len(), sizes.len(), "seed {seed}");
         // Top-down sizes match the reversed build order.
         let walked: Vec<usize> = frames.iter().map(|f| f.size()).collect();
         let mut expected = sizes.clone();
         expected.reverse();
-        prop_assert_eq!(walked, expected);
+        assert_eq!(walked, expected, "seed {seed}");
         // Extents tile the segment exactly.
-        prop_assert_eq!(frames.last().unwrap().base, 0);
-        prop_assert_eq!(frames[0].top, top);
+        assert_eq!(frames.last().unwrap().base, 0, "seed {seed}");
+        assert_eq!(frames[0].top, top, "seed {seed}");
         for w in frames.windows(2) {
-            prop_assert_eq!(w[0].base, w[1].top);
+            assert_eq!(w[0].base, w[1].top, "seed {seed}");
         }
     }
+}
 
-    /// The split point is always a frame boundary, keeps the suffix within
-    /// the bound when more than one frame fits, and never returns the base.
-    #[test]
-    fn split_point_invariants(
-        sizes in proptest::collection::vec(2usize..20, 1..40),
-        bound in 1usize..120,
-    ) {
+/// The split point is always a frame boundary, keeps the suffix within
+/// the bound when more than one frame fits, and never returns the base.
+#[test]
+fn split_point_invariants() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let sizes = arb_sizes(&mut rng);
+        let bound = rng.gen_range(1, 120) as usize;
         let code = TestCode::new();
         let (buf, top, ra) = build(&code, &sizes);
         let frames = walker::frames(&buf, 0, top, ra, &code);
         match walker::split_point(&buf, 0, top, ra, &code, bound) {
             None => {
                 // No split possible: single frame, or everything fits.
-                prop_assert!(sizes.len() == 1 || top <= bound,
-                    "None with {} frames of total {top} (bound {bound})", sizes.len());
+                assert!(
+                    sizes.len() == 1 || top <= bound,
+                    "seed {seed}: None with {} frames of total {top} (bound {bound})",
+                    sizes.len()
+                );
             }
             Some(s) => {
-                prop_assert!(s > 0 && s < top);
-                prop_assert!(frames.iter().any(|f| f.base == s), "split off a frame boundary");
+                assert!(s > 0 && s < top, "seed {seed}");
+                assert!(
+                    frames.iter().any(|f| f.base == s),
+                    "seed {seed}: split off a frame boundary"
+                );
                 let suffix = top - s;
                 let top_frame = frames[0].size();
                 // Within the bound, or a single oversized top frame.
-                prop_assert!(
+                assert!(
                     suffix <= bound || (suffix == top_frame && top_frame > bound),
-                    "suffix {suffix} bound {bound} top_frame {top_frame}"
+                    "seed {seed}: suffix {suffix} bound {bound} top_frame {top_frame}"
                 );
                 // Maximality: the next deeper boundary would exceed the bound.
                 if suffix <= bound {
                     if let Some(next) = frames.iter().find(|f| f.base < s).map(|f| f.base) {
-                        prop_assert!(top - next > bound, "not the largest suffix within bound");
+                        assert!(
+                            top - next > bound,
+                            "seed {seed}: not the largest suffix within bound"
+                        );
                     }
                 }
             }
         }
     }
+}
 
-    /// Random capture/reinstate round trips preserve the full unwind
-    /// sequence regardless of segment size and copy bound.
-    #[test]
-    fn capture_reinstate_preserves_unwind(
-        depth in 1usize..80,
-        d in 3usize..10,
-        seg in 96usize..512,
-        bound in 1usize..64,
-    ) {
-        let code = Rc::new(TestCode::new());
-        let cfg = Config::builder()
-            .segment_slots(seg.max(3 * 16))
-            .frame_bound(16)
-            .copy_bound(bound)
-            .build()
-            .unwrap();
-        let mut stack = SegmentedStack::<TestSlot>::new(cfg, code.clone()).unwrap();
-        let mut ras = Vec::new();
-        for i in 0..depth {
-            let ra = code.ret_point(d);
-            stack.set(d + 1, TestSlot::Int(i as i64));
-            stack.call(d, ra, 1, true).unwrap();
-            ras.push(ra);
-        }
-        let k = stack.capture();
-        // Unwind everything, reinstate, and check the replayed unwind.
-        while stack.ret().unwrap() != ReturnAddress::Exit {}
-        let resumed = stack.reinstate(&k).unwrap();
-        prop_assert_eq!(resumed, ReturnAddress::Code(ras[depth - 1]));
-        for i in (0..depth - 1).rev() {
-            prop_assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ras[i]));
-            if i > 0 {
-                // After returning past frame i, the live frame is i-1.
-                prop_assert_eq!(stack.get(1), TestSlot::Int(i as i64 - 1));
-            }
-        }
-        prop_assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+/// Random capture/reinstate round trips preserve the full unwind
+/// sequence regardless of segment size and copy bound.
+#[test]
+fn capture_reinstate_preserves_unwind() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let depth = rng.gen_range(1, 80) as usize;
+        let d = rng.gen_range(3, 10) as usize;
+        let seg = rng.gen_range(96, 512) as usize;
+        let bound = rng.gen_range(1, 64) as usize;
+        check_capture_reinstate(seed, depth, d, seg, bound);
     }
+}
+
+/// A historical proptest-shrunk failure case, kept as an explicit
+/// regression (minimal depth with the smallest segment and copy bound).
+#[test]
+fn capture_reinstate_shallow_tiny_bound_regression() {
+    check_capture_reinstate(u64::MAX, 2, 3, 96, 1);
+}
+
+fn check_capture_reinstate(seed: u64, depth: usize, d: usize, seg: usize, bound: usize) {
+    let code = Rc::new(TestCode::new());
+    let cfg = Config::builder()
+        .segment_slots(seg.max(3 * 16))
+        .frame_bound(16)
+        .copy_bound(bound)
+        .build()
+        .unwrap();
+    let mut stack = SegmentedStack::<TestSlot>::new(cfg, code.clone()).unwrap();
+    let mut ras = Vec::new();
+    for i in 0..depth {
+        let ra = code.ret_point(d);
+        stack.set(d + 1, TestSlot::Int(i as i64));
+        stack.call(d, ra, 1, true).unwrap();
+        ras.push(ra);
+    }
+    let k = stack.capture();
+    // Unwind everything, reinstate, and check the replayed unwind.
+    while stack.ret().unwrap() != ReturnAddress::Exit {}
+    let resumed = stack.reinstate(&k).unwrap();
+    assert_eq!(resumed, ReturnAddress::Code(ras[depth - 1]), "seed {seed}");
+    for i in (0..depth - 1).rev() {
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ras[i]), "seed {seed}");
+        if i > 0 {
+            // After returning past frame i, the live frame is i-1.
+            assert_eq!(stack.get(1), TestSlot::Int(i as i64 - 1), "seed {seed}");
+        }
+    }
+    assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit, "seed {seed}");
 }

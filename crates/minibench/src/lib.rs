@@ -1,0 +1,285 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! The build environment is fully offline, so the real crates-io
+//! `criterion` cannot be fetched; this crate implements exactly the API
+//! subset the `segstack-bench` benches use (`Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`) with honest
+//! wall-clock measurement: per-sample medians over a warm-up plus a
+//! measurement window. Reported numbers are median / mean / p95 of the
+//! per-iteration time.
+//!
+//! Passing `--test` (which `cargo test` does for `harness = false`
+//! targets) runs every benchmark closure once and skips measurement, so
+//! benches stay cheap smoke tests under the test runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, e.g. `fib18/segmented`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Measurement configuration and entry point (the `criterion` namesake).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line overrides (only `--test` is recognised).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+}
+
+/// A named set of benchmarks sharing the group's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark that needs no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            test_mode: self.criterion.test_mode,
+            warm_up: self.criterion.warm_up_time,
+            measurement: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b);
+        if b.test_mode {
+            println!("  {}/{id}: ok (test mode)", self.name);
+            return;
+        }
+        b.samples.sort_unstable();
+        let n = b.samples.len();
+        if n == 0 {
+            println!("  {}/{id}: no samples", self.name);
+            return;
+        }
+        let median = b.samples[n / 2];
+        let mean = b.samples.iter().sum::<u128>() / n as u128;
+        let p95 = b.samples[(n * 95 / 100).min(n - 1)];
+        println!(
+            "  {}/{id}: median {} mean {} p95 {} ({} samples)",
+            self.name,
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(p95),
+            n
+        );
+    }
+
+    /// Ends the group (kept for API compatibility; output is streamed).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    samples: Vec<u128>,
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling until either the
+    /// sample count or the measurement window is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            let _ = black_box(routine());
+            return;
+        }
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            let _ = black_box(routine());
+        }
+        let measure_end = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let _ = black_box(routine());
+            self.samples.push(start.elapsed().as_nanos());
+            if Instant::now() >= measure_end {
+                break;
+            }
+        }
+    }
+}
+
+/// An identity function that defeats constant-propagation of benchmark
+/// results (best-effort without `core::hint::black_box`'s guarantees).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group the way criterion does:
+///
+/// ```ignore
+/// criterion_group! { name = benches; config = quick(); targets = bench }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        c.test_mode = false;
+        let mut g = c.benchmark_group("g");
+        let mut runs = 0u32;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 5);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("fib", "seg").to_string(), "fib/seg");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

@@ -205,7 +205,8 @@ impl CodeStore {
                 errors.push(VerifyError { chunk: id32, offset, message });
             };
             for (i, instr) in chunk.instrs.iter().enumerate() {
-                let framesize_at = |j: usize| matches!(chunk.instrs.get(j), Some(Instr::FrameSize(_)));
+                let framesize_at =
+                    |j: usize| matches!(chunk.instrs.get(j), Some(Instr::FrameSize(_)));
                 match instr {
                     Instr::Call { d, nargs, .. } => {
                         if i == 0 || !framesize_at(i - 1) {
@@ -215,11 +216,14 @@ impl CodeStore {
                             err(i, "call's return point lacks its frame-size word".into());
                         }
                         if usize::from(d + 2 + nargs) > usize::from(chunk.frame_slots) {
-                            err(i, format!(
-                                "call stages {} slots beyond the recorded frame size {}",
-                                d + 2 + nargs,
-                                chunk.frame_slots
-                            ));
+                            err(
+                                i,
+                                format!(
+                                    "call stages {} slots beyond the recorded frame size {}",
+                                    d + 2 + nargs,
+                                    chunk.frame_slots
+                                ),
+                            );
                         }
                     }
                     Instr::TailCall { src, nargs } => {
@@ -244,10 +248,13 @@ impl CodeStore {
                     Instr::LocalSet(slot)
                         if usize::from(*slot) >= usize::from(chunk.frame_slots) =>
                     {
-                        err(i, format!(
-                            "slot {slot} written beyond recorded frame size {}",
-                            chunk.frame_slots
-                        ));
+                        err(
+                            i,
+                            format!(
+                                "slot {slot} written beyond recorded frame size {}",
+                                chunk.frame_slots
+                            ),
+                        );
                     }
                     _ => {}
                 }
@@ -311,9 +318,9 @@ impl Globals {
     ///
     /// [`SchemeError::Runtime`] if the variable has never been defined.
     pub fn get(&self, g: u32) -> Result<Value, SchemeError> {
-        self.values[g as usize]
-            .clone()
-            .ok_or_else(|| SchemeError::runtime(format!("unbound variable: {}", self.names[g as usize])))
+        self.values[g as usize].clone().ok_or_else(|| {
+            SchemeError::runtime(format!("unbound variable: {}", self.names[g as usize]))
+        })
     }
 
     /// Writes global `g` via `set!`.
@@ -362,8 +369,11 @@ impl Globals {
 impl fmt::Display for Chunk {
     /// Disassembly listing, for debugging and tests.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, ";; chunk {:?} params={} variadic={} frame={}",
-                 self.name, self.nparams, self.variadic, self.frame_slots)?;
+        writeln!(
+            f,
+            ";; chunk {:?} params={} variadic={} frame={}",
+            self.name, self.nparams, self.variadic, self.frame_slots
+        )?;
         for (i, instr) in self.instrs.iter().enumerate() {
             writeln!(f, "{i:4}  {instr:?}")?;
         }

@@ -101,8 +101,13 @@ impl Gen<'_> {
                 self.opts.frame_bound
             )));
         }
-        let mut g =
-            Gen { store: self.store, opts: self.opts, instrs: Vec::new(), consts: Vec::new(), max_stage: wm };
+        let mut g = Gen {
+            store: self.store,
+            opts: self.opts,
+            instrs: Vec::new(),
+            consts: Vec::new(),
+            max_stage: wm,
+        };
         for (i, boxed) in l.boxed_params.iter().enumerate() {
             if *boxed {
                 g.instrs.push(Instr::WrapCell(PARAM_BASE + i as u16));
@@ -357,9 +362,8 @@ mod tests {
         let mut globals = Globals::new();
         let mut ex = Expander::new();
         let opts = CompileOptions { policy, frame_bound: 64 };
-        let id =
-            compile_toplevel(&read_one(src).unwrap(), &mut ex, &store, &mut globals, &opts)
-                .unwrap();
+        let id = compile_toplevel(&read_one(src).unwrap(), &mut ex, &store, &mut globals, &opts)
+            .unwrap();
         (store, globals, id)
     }
 

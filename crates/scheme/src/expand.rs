@@ -107,9 +107,9 @@ impl Expander {
     fn apply_macro(&mut self, name: Symbol, form: &Value) -> Result<Value, SchemeError> {
         self.macro_depth += 1;
         if self.macro_depth > 500 {
-            return Err(self.err(format!(
-                "macro expansion of {name} exceeds 500 steps (divergent macro?)"
-            )));
+            return Err(
+                self.err(format!("macro expansion of {name} exceeds 500 steps (divergent macro?)"))
+            );
         }
         self.macros[&name].expand(form)
     }
@@ -183,7 +183,11 @@ impl Expander {
                     }
                     return self.expand_body(&rest, scope);
                 }
-                "define" => return Err(self.err("define is only allowed at top level or at the head of a body")),
+                "define" => {
+                    return Err(
+                        self.err("define is only allowed at top level or at the head of a body")
+                    )
+                }
                 "let" => return self.expand_let(rest, scope),
                 "let*" => return self.expand_let_star(rest, scope),
                 "letrec" | "letrec*" => return self.expand_letrec(rest, scope),
@@ -230,9 +234,8 @@ impl Expander {
             }
         }
         // An ordinary combination.
-        let items = datum
-            .list_to_vec()
-            .map_err(|_| self.err(format!("improper combination: {datum}")))?;
+        let items =
+            datum.list_to_vec().map_err(|_| self.err(format!("improper combination: {datum}")))?;
         let mut it = items.into_iter();
         let op = self.expand(&it.next().expect("non-empty by construction"), scope)?;
         let args = it.map(|d| self.expand(&d, scope)).collect::<Result<Vec<_>, _>>()?;
@@ -311,13 +314,7 @@ impl Expander {
         let mut inner = scope.clone();
         inner.extend(params.iter().copied());
         let body = self.expand_body(body, &inner)?;
-        Ok(Ast::Lambda(Rc::new(AstLambda {
-            id: self.lambda_id(),
-            params,
-            variadic,
-            body,
-            name,
-        })))
+        Ok(Ast::Lambda(Rc::new(AstLambda { id: self.lambda_id(), params, variadic, body, name })))
     }
 
     /// Expands a body: leading internal defines become a `letrec*`-style
@@ -332,10 +329,11 @@ impl Expander {
                     defines.push(self.parse_define(rest)?);
                     i += 1;
                 }
-                "begin" if !rest.is_empty()
-                    && rest.iter().all(|f| {
-                        self.special_head(f, scope).is_some_and(|(h, _)| h.as_str() == "define")
-                    }) =>
+                "begin"
+                    if !rest.is_empty()
+                        && rest.iter().all(|f| {
+                            self.special_head(f, scope).is_some_and(|(h, _)| h.as_str() == "define")
+                        }) =>
                 {
                     for f in &rest {
                         let (_, r) = self.special_head(f, scope).expect("checked above");
@@ -355,7 +353,11 @@ impl Expander {
             for e in exprs {
                 out.push(self.expand(e, scope)?);
             }
-            return Ok(if out.len() == 1 { out.into_iter().next().unwrap() } else { Ast::Begin(out) });
+            return Ok(if out.len() == 1 {
+                out.into_iter().next().unwrap()
+            } else {
+                Ast::Begin(out)
+            });
         }
         // ((lambda (v…) (set! v e)… body…) #unspecified…)
         let mut inner = scope.clone();
@@ -431,15 +433,12 @@ impl Expander {
 
     /// Parses a binding list `((name init) …)`.
     fn bindings(&self, form: &Value) -> Result<Vec<(Symbol, Value)>, SchemeError> {
-        let items = form
-            .list_to_vec()
-            .map_err(|_| self.err(format!("bad binding list: {form}")))?;
+        let items =
+            form.list_to_vec().map_err(|_| self.err(format!("bad binding list: {form}")))?;
         items
             .into_iter()
             .map(|b| {
-                let pair = b
-                    .list_to_vec()
-                    .map_err(|_| self.err(format!("bad binding: {b}")))?;
+                let pair = b.list_to_vec().map_err(|_| self.err(format!("bad binding: {b}")))?;
                 match <[Value; 2]>::try_from(pair) {
                     Ok([Value::Sym(s), init]) => Ok((s, init)),
                     Ok([name, _]) => Err(self.err(format!("bad binding name: {name}"))),
@@ -473,10 +472,8 @@ impl Expander {
                     name: Some(loop_name),
                 }))
             };
-            let inits = binds
-                .iter()
-                .map(|(_, i)| self.expand(i, scope))
-                .collect::<Result<Vec<_>, _>>()?;
+            let inits =
+                binds.iter().map(|(_, i)| self.expand(i, scope)).collect::<Result<Vec<_>, _>>()?;
             // ((lambda (loop) (set! loop <lam>) (loop inits…)) #unspec)
             let call_loop = Ast::Call(Box::new(Ast::Var(loop_name)), inits);
             let outer = Ast::Lambda(Rc::new(AstLambda {
@@ -505,10 +502,8 @@ impl Expander {
             body: body_ast,
             name: None,
         }));
-        let inits = binds
-            .iter()
-            .map(|(_, i)| self.expand(i, scope))
-            .collect::<Result<Vec<_>, _>>()?;
+        let inits =
+            binds.iter().map(|(_, i)| self.expand(i, scope)).collect::<Result<Vec<_>, _>>()?;
         Ok(Ast::Call(Box::new(lambda), inits))
     }
 
@@ -563,13 +558,13 @@ impl Expander {
     fn expand_cond(&mut self, clauses: Vec<Value>, scope: &Scope) -> Result<Ast, SchemeError> {
         let mut out = Ast::unspecified();
         for clause in clauses.into_iter().rev() {
-            let parts = clause
-                .list_to_vec()
-                .map_err(|_| self.err(format!("cond: bad clause {clause}")))?;
+            let parts =
+                clause.list_to_vec().map_err(|_| self.err(format!("cond: bad clause {clause}")))?;
             let Some((test, body)) = parts.split_first() else {
                 return Err(self.err("cond: empty clause"));
             };
-            let is_else = matches!(test, Value::Sym(s) if s.as_str() == "else" && !scope.contains(s));
+            let is_else =
+                matches!(test, Value::Sym(s) if s.as_str() == "else" && !scope.contains(s));
             if is_else {
                 if body.is_empty() {
                     return Err(self.err("cond: empty else clause"));
@@ -577,8 +572,9 @@ impl Expander {
                 out = self.expand_body(body, scope)?;
                 continue;
             }
-            if body.first().is_some_and(|b| matches!(b, Value::Sym(s) if s.as_str() == "=>" && !scope.contains(s)))
-            {
+            if body.first().is_some_and(
+                |b| matches!(b, Value::Sym(s) if s.as_str() == "=>" && !scope.contains(s)),
+            ) {
                 // (test => receiver): ((lambda (t) (if t (receiver t) else)) test)
                 let [_, receiver] = self
                     .exactly::<2>("cond =>", body.to_vec())
@@ -606,8 +602,7 @@ impl Expander {
             if body.is_empty() {
                 // (test): the test's value if true.
                 let t = self.gensym("t");
-                let branch =
-                    Ast::If(Box::new(Ast::Var(t)), Box::new(Ast::Var(t)), Box::new(out));
+                let branch = Ast::If(Box::new(Ast::Var(t)), Box::new(Ast::Var(t)), Box::new(out));
                 let lambda = Ast::Lambda(Rc::new(AstLambda {
                     id: self.lambda_id(),
                     params: vec![t],
@@ -634,9 +629,8 @@ impl Expander {
         inner.insert(t);
         let mut out = Ast::unspecified();
         for clause in clauses.iter().rev() {
-            let parts = clause
-                .list_to_vec()
-                .map_err(|_| self.err(format!("case: bad clause {clause}")))?;
+            let parts =
+                clause.list_to_vec().map_err(|_| self.err(format!("case: bad clause {clause}")))?;
             let Some((data, body)) = parts.split_first() else {
                 return Err(self.err("case: empty clause"));
             };
@@ -650,9 +644,8 @@ impl Expander {
                 out = body_ast;
                 continue;
             }
-            let data_list = data
-                .list_to_vec()
-                .map_err(|_| self.err(format!("case: bad datum list {data}")))?;
+            let data_list =
+                data.list_to_vec().map_err(|_| self.err(format!("case: bad datum list {data}")))?;
             let test = Ast::Call(
                 Box::new(Ast::Var(Symbol::intern("memv"))),
                 vec![Ast::Var(t), Ast::Quote(Value::list(data_list))],
@@ -735,23 +728,18 @@ impl Expander {
         if rest.len() < 2 {
             return Err(self.err("do: expected bindings and a test clause"));
         }
-        let specs = rest[0]
-            .list_to_vec()
-            .map_err(|_| self.err("do: bad binding list"))?;
+        let specs = rest[0].list_to_vec().map_err(|_| self.err("do: bad binding list"))?;
         let mut vars = Vec::new();
         for spec in &specs {
-            let parts = spec
-                .list_to_vec()
-                .map_err(|_| self.err(format!("do: bad binding {spec}")))?;
+            let parts =
+                spec.list_to_vec().map_err(|_| self.err(format!("do: bad binding {spec}")))?;
             match parts.as_slice() {
                 [Value::Sym(s), init] => vars.push((*s, init.clone(), Value::Sym(*s))),
                 [Value::Sym(s), init, step] => vars.push((*s, init.clone(), step.clone())),
                 _ => return Err(self.err(format!("do: bad binding {spec}"))),
             }
         }
-        let test_clause = rest[1]
-            .list_to_vec()
-            .map_err(|_| self.err("do: bad test clause"))?;
+        let test_clause = rest[1].list_to_vec().map_err(|_| self.err("do: bad test clause"))?;
         let Some((test, result)) = test_clause.split_first() else {
             return Err(self.err("do: empty test clause"));
         };
@@ -764,11 +752,8 @@ impl Expander {
         inner.extend(vars.iter().map(|(s, _, _)| *s));
 
         let test_ast = self.expand(test, &inner)?;
-        let result_ast = if result.is_empty() {
-            Ast::unspecified()
-        } else {
-            self.expand_body(result, &inner)?
-        };
+        let result_ast =
+            if result.is_empty() { Ast::unspecified() } else { self.expand_body(result, &inner)? };
         let steps = vars
             .iter()
             .map(|(_, _, step)| self.expand(step, &inner))
@@ -931,7 +916,10 @@ mod tests {
 
     #[test]
     fn named_let_and_do_expand_to_loops() {
-        assert!(matches!(expand("(let loop ((i 0)) (if (< i 10) (loop (+ i 1)) i))"), Ast::Call(..)));
+        assert!(matches!(
+            expand("(let loop ((i 0)) (if (< i 10) (loop (+ i 1)) i))"),
+            Ast::Call(..)
+        ));
         assert!(matches!(expand("(do ((i 0 (+ i 1))) ((= i 10) i))"), Ast::Call(..)));
     }
 

@@ -44,8 +44,8 @@ mod error;
 pub mod expand;
 mod intern;
 pub mod lexer;
-pub mod macros;
 mod machine;
+pub mod macros;
 pub mod prelude;
 pub mod primitives;
 mod reader;

@@ -98,8 +98,7 @@ impl EngineBuilder {
         let stack = self.strategy.build::<Value>(self.config.clone(), store.clone())?;
         let vm_opts =
             VmOptions { max_steps: self.max_steps, frame_bound: self.config.frame_bound() };
-        let copts =
-            CompileOptions { policy: self.policy, frame_bound: self.config.frame_bound() };
+        let copts = CompileOptions { policy: self.policy, frame_bound: self.config.frame_bound() };
         let mut engine = Engine {
             strategy: self.strategy,
             store,
@@ -260,9 +259,8 @@ impl Engine {
     /// else as in [`Engine::eval`].
     pub fn eval_file<P: AsRef<std::path::Path>>(&mut self, path: P) -> Result<Value, SchemeError> {
         let path = path.as_ref();
-        let src = std::fs::read_to_string(path).map_err(|e| {
-            SchemeError::runtime(format!("cannot load {}: {e}", path.display()))
-        })?;
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| SchemeError::runtime(format!("cannot load {}: {e}", path.display())))?;
         self.eval(&src)
     }
 
@@ -424,7 +422,10 @@ mod tests {
 
     #[test]
     fn recursion_fib_and_tak() {
-        assert_eq!(eval("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 20)"), "6765");
+        assert_eq!(
+            eval("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 20)"),
+            "6765"
+        );
         assert_eq!(
             eval(
                 "(define (tak x y z)
@@ -449,9 +450,7 @@ mod tests {
     #[test]
     fn deep_non_tail_recursion_overflows_gracefully() {
         let mut e = engine();
-        let v = e
-            .eval("(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 50000)")
-            .unwrap();
+        let v = e.eval("(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 50000)").unwrap();
         assert_eq!(v.to_string(), "1250025000");
         assert!(e.metrics().overflows > 0, "depth 50000 must overflow 16k segments");
         assert!(e.metrics().underflows >= e.metrics().overflows);
@@ -459,7 +458,10 @@ mod tests {
 
     #[test]
     fn named_let_and_do_loops() {
-        assert_eq!(eval("(let loop ((i 0) (acc 1)) (if (= i 5) acc (loop (+ i 1) (* acc 2))))"), "32");
+        assert_eq!(
+            eval("(let loop ((i 0) (acc 1)) (if (= i 5) acc (loop (+ i 1) (* acc 2))))"),
+            "32"
+        );
         assert_eq!(eval("(do ((i 0 (+ i 1)) (s 0 (+ s i))) ((= i 5) s))"), "10");
     }
 
@@ -555,10 +557,7 @@ mod tests {
         let mut e = engine();
         e.eval(src).unwrap();
         // First pass: in body out; after the jump: in body out again.
-        assert_eq!(
-            e.eval_to_string("(reverse trace)").unwrap(),
-            "(in body out again in body out)"
-        );
+        assert_eq!(e.eval_to_string("(reverse trace)").unwrap(), "(in body out again in body out)");
     }
 
     #[test]

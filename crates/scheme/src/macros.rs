@@ -141,13 +141,7 @@ impl MacroDef {
 
     /// Matches `sub ... after` against `form`: `sub` repeats greedily but
     /// must leave exactly as many trailing items as `after` requires.
-    fn match_ellipsis(
-        &self,
-        sub: &Value,
-        after: &Value,
-        form: &Value,
-        b: &mut Bindings,
-    ) -> bool {
+    fn match_ellipsis(&self, sub: &Value, after: &Value, form: &Value, b: &mut Bindings) -> bool {
         let Ok(items) = form.list_to_vec() else { return false };
         let after_len = match after.list_len() {
             Some(n) => n,
@@ -167,9 +161,7 @@ impl MacroDef {
                 return false;
             }
             for v in &vars {
-                let captured = inner
-                    .remove(v)
-                    .unwrap_or(Binding::Seq(Vec::new()));
+                let captured = inner.remove(v).unwrap_or(Binding::Seq(Vec::new()));
                 seqs.get_mut(v).expect("pre-seeded").push(captured);
             }
         }
@@ -192,10 +184,10 @@ impl MacroDef {
                 if s.as_str() != "_"
                     && s.as_str() != "..."
                     && !self.literals.contains(s)
-                    && !out.contains(s)
-                => {
-                    out.push(*s);
-                }
+                    && !out.contains(s) =>
+            {
+                out.push(*s);
+            }
             Value::Pair(pp) => {
                 self.collect_vars(&pp.car.borrow(), out);
                 self.collect_vars(&pp.cdr.borrow(), out);
@@ -319,10 +311,7 @@ mod tests {
     #[test]
     fn ellipsis_with_structured_subpatterns() {
         let m = def("(syntax-rules () ((_ (name val) ...) (list (cons 'name val) ...)))");
-        assert_eq!(
-            expand(&m, "(m (x 1) (y 2))"),
-            "(list (cons (quote x) 1) (cons (quote y) 2))"
-        );
+        assert_eq!(expand(&m, "(m (x 1) (y 2))"), "(list (cons (quote x) 1) (cons (quote y) 2))");
     }
 
     #[test]

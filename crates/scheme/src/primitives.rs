@@ -297,10 +297,7 @@ fn p_list_ref(_: &mut PrimCtx<'_>, a: &[Value]) -> Result<Value, SchemeError> {
     cur.car()
 }
 
-fn member_by(
-    a: &[Value],
-    pred: fn(&Value, &Value) -> bool,
-) -> Result<Value, SchemeError> {
+fn member_by(a: &[Value], pred: fn(&Value, &Value) -> bool) -> Result<Value, SchemeError> {
     let mut cur = a[1].clone();
     loop {
         match cur {
@@ -361,8 +358,7 @@ fn p_mul(_: &mut PrimCtx<'_>, a: &[Value]) -> Result<Value, SchemeError> {
 fn p_sub(_: &mut PrimCtx<'_>, a: &[Value]) -> Result<Value, SchemeError> {
     let first = num(&a[0], "-")?;
     if a.len() == 1 {
-        return arith("-", Num::Fix(0), first, i64::checked_sub, |x, y| x - y)
-            .map(Num::to_value);
+        return arith("-", Num::Fix(0), first, i64::checked_sub, |x, y| x - y).map(Num::to_value);
     }
     let mut acc = first;
     for v in &a[1..] {
@@ -494,7 +490,11 @@ fn p_abs(_: &mut PrimCtx<'_>, a: &[Value]) -> Result<Value, SchemeError> {
 
 fn p_gcd(_: &mut PrimCtx<'_>, a: &[Value]) -> Result<Value, SchemeError> {
     fn gcd(a: i64, b: i64) -> i64 {
-        if b == 0 { a.abs() } else { gcd(b, a % b) }
+        if b == 0 {
+            a.abs()
+        } else {
+            gcd(b, a % b)
+        }
     }
     let mut acc = 0;
     for v in a {
@@ -778,9 +778,7 @@ fn p_log(_: &mut PrimCtx<'_>, a: &[Value]) -> Result<Value, SchemeError> {
 fn p_atan(_: &mut PrimCtx<'_>, a: &[Value]) -> Result<Value, SchemeError> {
     match a.len() {
         1 => float_fn(a, "atan", f64::atan),
-        _ => Ok(Value::Flonum(
-            num(&a[0], "atan")?.as_f64().atan2(num(&a[1], "atan")?.as_f64()),
-        )),
+        _ => Ok(Value::Flonum(num(&a[0], "atan")?.as_f64().atan2(num(&a[1], "atan")?.as_f64()))),
     }
 }
 
@@ -925,10 +923,9 @@ fn p_vector_set(_: &mut PrimCtx<'_>, a: &[Value]) -> Result<Value, SchemeError> 
     let i = want_fixnum(&a[1], "vector-set!")?;
     let mut v = v.borrow_mut();
     let len = v.len();
-    let slot = usize::try_from(i)
-        .ok()
-        .and_then(|i| v.get_mut(i))
-        .ok_or_else(|| SchemeError::runtime(format!("vector-set!: index {i} out of range 0..{len}")))?;
+    let slot = usize::try_from(i).ok().and_then(|i| v.get_mut(i)).ok_or_else(|| {
+        SchemeError::runtime(format!("vector-set!: index {i} out of range 0..{len}"))
+    })?;
     *slot = a[2].clone();
     Ok(Value::Unspecified)
 }
@@ -956,9 +953,7 @@ fn emit(ctx: &mut PrimCtx<'_>, port: Option<&Value>, text: &str) -> Result<Value
     match port {
         None => ctx.out.push_str(text),
         Some(Value::Port(p)) => p.borrow_mut().push_str(text),
-        Some(other) => {
-            return Err(SchemeError::runtime(format!("expected a port, got {other}")))
-        }
+        Some(other) => return Err(SchemeError::runtime(format!("expected a port, got {other}"))),
     }
     Ok(Value::Unspecified)
 }
@@ -982,9 +977,9 @@ fn p_open_output_string(_: &mut PrimCtx<'_>, _: &[Value]) -> Result<Value, Schem
 fn p_get_output_string(_: &mut PrimCtx<'_>, a: &[Value]) -> Result<Value, SchemeError> {
     match &a[0] {
         Value::Port(p) => Ok(Value::string(p.borrow().clone())),
-        other => Err(SchemeError::runtime(format!(
-            "get-output-string: expected a port, got {other}"
-        ))),
+        other => {
+            Err(SchemeError::runtime(format!("get-output-string: expected a port, got {other}")))
+        }
     }
 }
 
@@ -1053,8 +1048,18 @@ pub static PRIMITIVES: &[PrimDef] = &[
     PrimDef { name: "length", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_length) },
     PrimDef { name: "append", min_args: 0, max_args: None, kind: PrimKind::Normal(p_append) },
     PrimDef { name: "reverse", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_reverse) },
-    PrimDef { name: "list-tail", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_list_tail) },
-    PrimDef { name: "list-ref", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_list_ref) },
+    PrimDef {
+        name: "list-tail",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_list_tail),
+    },
+    PrimDef {
+        name: "list-ref",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_list_ref),
+    },
     PrimDef { name: "memq", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_memq) },
     PrimDef { name: "memv", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_memv) },
     PrimDef { name: "member", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_member) },
@@ -1065,8 +1070,18 @@ pub static PRIMITIVES: &[PrimDef] = &[
     PrimDef { name: "-", min_args: 1, max_args: None, kind: PrimKind::Normal(p_sub) },
     PrimDef { name: "*", min_args: 0, max_args: None, kind: PrimKind::Normal(p_mul) },
     PrimDef { name: "/", min_args: 1, max_args: None, kind: PrimKind::Normal(p_div) },
-    PrimDef { name: "quotient", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_quotient) },
-    PrimDef { name: "remainder", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_remainder) },
+    PrimDef {
+        name: "quotient",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_quotient),
+    },
+    PrimDef {
+        name: "remainder",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_remainder),
+    },
     PrimDef { name: "modulo", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_modulo) },
     PrimDef { name: "=", min_args: 2, max_args: None, kind: PrimKind::Normal(p_num_eq) },
     PrimDef { name: "<", min_args: 2, max_args: None, kind: PrimKind::Normal(p_lt) },
@@ -1074,8 +1089,18 @@ pub static PRIMITIVES: &[PrimDef] = &[
     PrimDef { name: "<=", min_args: 2, max_args: None, kind: PrimKind::Normal(p_le) },
     PrimDef { name: ">=", min_args: 2, max_args: None, kind: PrimKind::Normal(p_ge) },
     PrimDef { name: "zero?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_zero) },
-    PrimDef { name: "positive?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_positive) },
-    PrimDef { name: "negative?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_negative) },
+    PrimDef {
+        name: "positive?",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_positive),
+    },
+    PrimDef {
+        name: "negative?",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_negative),
+    },
     PrimDef { name: "odd?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_odd) },
     PrimDef { name: "even?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_even) },
     PrimDef { name: "min", min_args: 1, max_args: None, kind: PrimKind::Normal(p_min) },
@@ -1086,12 +1111,37 @@ pub static PRIMITIVES: &[PrimDef] = &[
     PrimDef { name: "sqrt", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_sqrt) },
     PrimDef { name: "floor", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_floor) },
     PrimDef { name: "ceiling", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_ceiling) },
-    PrimDef { name: "truncate", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_truncate) },
+    PrimDef {
+        name: "truncate",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_truncate),
+    },
     PrimDef { name: "round", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_round) },
-    PrimDef { name: "exact->inexact", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_exact_to_inexact) },
-    PrimDef { name: "inexact->exact", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_inexact_to_exact) },
-    PrimDef { name: "number->string", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_number_to_string) },
-    PrimDef { name: "string->number", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_string_to_number) },
+    PrimDef {
+        name: "exact->inexact",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_exact_to_inexact),
+    },
+    PrimDef {
+        name: "inexact->exact",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_inexact_to_exact),
+    },
+    PrimDef {
+        name: "number->string",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_number_to_string),
+    },
+    PrimDef {
+        name: "string->number",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_string_to_number),
+    },
     PrimDef { name: "pair?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_pair) },
     PrimDef { name: "null?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_null) },
     PrimDef { name: "list?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_list_p) },
@@ -1103,26 +1153,101 @@ pub static PRIMITIVES: &[PrimDef] = &[
     PrimDef { name: "string?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_string_p) },
     PrimDef { name: "char?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_char_p) },
     PrimDef { name: "vector?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_vector_p) },
-    PrimDef { name: "procedure?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_procedure) },
+    PrimDef {
+        name: "procedure?",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_procedure),
+    },
     PrimDef { name: "not", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_not) },
     PrimDef { name: "eq?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_eq) },
     PrimDef { name: "eqv?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_eqv) },
     PrimDef { name: "equal?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_equal) },
-    PrimDef { name: "symbol->string", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_symbol_to_string) },
-    PrimDef { name: "string->symbol", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_string_to_symbol) },
-    PrimDef { name: "string-length", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_string_length) },
-    PrimDef { name: "string-ref", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_string_ref) },
-    PrimDef { name: "substring", min_args: 3, max_args: Some(3), kind: PrimKind::Normal(p_substring) },
-    PrimDef { name: "string-append", min_args: 0, max_args: None, kind: PrimKind::Normal(p_string_append) },
-    PrimDef { name: "string=?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_string_eq) },
-    PrimDef { name: "string<?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_string_lt) },
-    PrimDef { name: "string->list", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_string_to_list) },
-    PrimDef { name: "list->string", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_list_to_string) },
-    PrimDef { name: "make-string", min_args: 1, max_args: Some(2), kind: PrimKind::Normal(p_make_string) },
+    PrimDef {
+        name: "symbol->string",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_symbol_to_string),
+    },
+    PrimDef {
+        name: "string->symbol",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_string_to_symbol),
+    },
+    PrimDef {
+        name: "string-length",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_string_length),
+    },
+    PrimDef {
+        name: "string-ref",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_string_ref),
+    },
+    PrimDef {
+        name: "substring",
+        min_args: 3,
+        max_args: Some(3),
+        kind: PrimKind::Normal(p_substring),
+    },
+    PrimDef {
+        name: "string-append",
+        min_args: 0,
+        max_args: None,
+        kind: PrimKind::Normal(p_string_append),
+    },
+    PrimDef {
+        name: "string=?",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_string_eq),
+    },
+    PrimDef {
+        name: "string<?",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_string_lt),
+    },
+    PrimDef {
+        name: "string->list",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_string_to_list),
+    },
+    PrimDef {
+        name: "list->string",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_list_to_string),
+    },
+    PrimDef {
+        name: "make-string",
+        min_args: 1,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_make_string),
+    },
     PrimDef { name: "string", min_args: 0, max_args: None, kind: PrimKind::Normal(p_string) },
-    PrimDef { name: "string-set!", min_args: 3, max_args: Some(3), kind: PrimKind::Normal(p_string_set) },
-    PrimDef { name: "string-fill!", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_string_fill) },
-    PrimDef { name: "string-copy", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_string_copy) },
+    PrimDef {
+        name: "string-set!",
+        min_args: 3,
+        max_args: Some(3),
+        kind: PrimKind::Normal(p_string_set),
+    },
+    PrimDef {
+        name: "string-fill!",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_string_fill),
+    },
+    PrimDef {
+        name: "string-copy",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_string_copy),
+    },
     PrimDef { name: "sin", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_sin) },
     PrimDef { name: "cos", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_cos) },
     PrimDef { name: "tan", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_tan) },
@@ -1132,53 +1257,193 @@ pub static PRIMITIVES: &[PrimDef] = &[
     PrimDef { name: "char>?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_char_gt) },
     PrimDef { name: "char<=?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_char_le) },
     PrimDef { name: "char>=?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_char_ge) },
-    PrimDef { name: "string>?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_string_gt) },
-    PrimDef { name: "string<=?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_string_le) },
-    PrimDef { name: "string>=?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_string_ge) },
+    PrimDef {
+        name: "string>?",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_string_gt),
+    },
+    PrimDef {
+        name: "string<=?",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_string_le),
+    },
+    PrimDef {
+        name: "string>=?",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_string_ge),
+    },
     PrimDef { name: "exact?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_exact_p) },
-    PrimDef { name: "inexact?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_inexact_p) },
-    PrimDef { name: "char->integer", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_char_to_integer) },
-    PrimDef { name: "integer->char", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_integer_to_char) },
+    PrimDef {
+        name: "inexact?",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_inexact_p),
+    },
+    PrimDef {
+        name: "char->integer",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_char_to_integer),
+    },
+    PrimDef {
+        name: "integer->char",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_integer_to_char),
+    },
     PrimDef { name: "char=?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_char_eq) },
     PrimDef { name: "char<?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_char_lt) },
-    PrimDef { name: "char-ci=?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_char_ci_eq) },
-    PrimDef { name: "string-ci=?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_string_ci_eq) },
-    PrimDef { name: "boolean=?", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_boolean_eq) },
-    PrimDef { name: "char-upcase", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_char_upcase) },
-    PrimDef { name: "char-downcase", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_char_downcase) },
-    PrimDef { name: "char-alphabetic?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_char_alphabetic) },
-    PrimDef { name: "char-numeric?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_char_numeric) },
-    PrimDef { name: "char-whitespace?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_char_whitespace) },
-    PrimDef { name: "make-vector", min_args: 1, max_args: Some(2), kind: PrimKind::Normal(p_make_vector) },
+    PrimDef {
+        name: "char-ci=?",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_char_ci_eq),
+    },
+    PrimDef {
+        name: "string-ci=?",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_string_ci_eq),
+    },
+    PrimDef {
+        name: "boolean=?",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_boolean_eq),
+    },
+    PrimDef {
+        name: "char-upcase",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_char_upcase),
+    },
+    PrimDef {
+        name: "char-downcase",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_char_downcase),
+    },
+    PrimDef {
+        name: "char-alphabetic?",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_char_alphabetic),
+    },
+    PrimDef {
+        name: "char-numeric?",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_char_numeric),
+    },
+    PrimDef {
+        name: "char-whitespace?",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_char_whitespace),
+    },
+    PrimDef {
+        name: "make-vector",
+        min_args: 1,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_make_vector),
+    },
     PrimDef { name: "vector", min_args: 0, max_args: None, kind: PrimKind::Normal(p_vector) },
-    PrimDef { name: "vector-length", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_vector_length) },
-    PrimDef { name: "vector-ref", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_vector_ref) },
-    PrimDef { name: "vector-set!", min_args: 3, max_args: Some(3), kind: PrimKind::Normal(p_vector_set) },
-    PrimDef { name: "vector->list", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_vector_to_list) },
-    PrimDef { name: "list->vector", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_list_to_vector) },
-    PrimDef { name: "vector-fill!", min_args: 2, max_args: Some(2), kind: PrimKind::Normal(p_vector_fill) },
+    PrimDef {
+        name: "vector-length",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_vector_length),
+    },
+    PrimDef {
+        name: "vector-ref",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_vector_ref),
+    },
+    PrimDef {
+        name: "vector-set!",
+        min_args: 3,
+        max_args: Some(3),
+        kind: PrimKind::Normal(p_vector_set),
+    },
+    PrimDef {
+        name: "vector->list",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_vector_to_list),
+    },
+    PrimDef {
+        name: "list->vector",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_list_to_vector),
+    },
+    PrimDef {
+        name: "vector-fill!",
+        min_args: 2,
+        max_args: Some(2),
+        kind: PrimKind::Normal(p_vector_fill),
+    },
     PrimDef { name: "display", min_args: 1, max_args: Some(2), kind: PrimKind::Normal(p_display) },
     PrimDef { name: "write", min_args: 1, max_args: Some(2), kind: PrimKind::Normal(p_write) },
     PrimDef { name: "newline", min_args: 0, max_args: Some(1), kind: PrimKind::Normal(p_newline) },
-    PrimDef { name: "open-output-string", min_args: 0, max_args: Some(0), kind: PrimKind::Normal(p_open_output_string) },
-    PrimDef { name: "get-output-string", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_get_output_string) },
+    PrimDef {
+        name: "open-output-string",
+        min_args: 0,
+        max_args: Some(0),
+        kind: PrimKind::Normal(p_open_output_string),
+    },
+    PrimDef {
+        name: "get-output-string",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_get_output_string),
+    },
     PrimDef { name: "port?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_port_p) },
     PrimDef { name: "error", min_args: 1, max_args: None, kind: PrimKind::Normal(p_error) },
     PrimDef { name: "void", min_args: 0, max_args: Some(0), kind: PrimKind::Normal(p_void) },
     PrimDef { name: "values", min_args: 0, max_args: None, kind: PrimKind::Normal(p_values) },
-    PrimDef { name: "%values?", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_values_p) },
-    PrimDef { name: "%values->list", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_values_to_list) },
+    PrimDef {
+        name: "%values?",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_values_p),
+    },
+    PrimDef {
+        name: "%values->list",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_values_to_list),
+    },
     // Stack introspection (the paper's §3 debugger walk, from Scheme).
     PrimDef { name: "stack-frames", min_args: 0, max_args: Some(1), kind: PrimKind::StackFrames },
     PrimDef { name: "eval", min_args: 1, max_args: Some(1), kind: PrimKind::Eval },
-    PrimDef { name: "read-from-string", min_args: 1, max_args: Some(1), kind: PrimKind::Normal(p_read_from_string) },
-    PrimDef { name: "call-with-current-continuation", min_args: 1, max_args: Some(1), kind: PrimKind::CallCC },
+    PrimDef {
+        name: "read-from-string",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::Normal(p_read_from_string),
+    },
+    PrimDef {
+        name: "call-with-current-continuation",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::CallCC,
+    },
     PrimDef { name: "call/cc", min_args: 1, max_args: Some(1), kind: PrimKind::CallCC },
     // Raw capture without the prelude's dynamic-wind rerooting wrapper.
     PrimDef { name: "%call/cc", min_args: 1, max_args: Some(1), kind: PrimKind::CallCC },
     PrimDef { name: "apply", min_args: 2, max_args: None, kind: PrimKind::Apply },
     PrimDef { name: "set-timer", min_args: 1, max_args: Some(1), kind: PrimKind::SetTimer },
-    PrimDef { name: "set-timer-handler!", min_args: 1, max_args: Some(1), kind: PrimKind::SetTimerHandler },
+    PrimDef {
+        name: "set-timer-handler!",
+        min_args: 1,
+        max_args: Some(1),
+        kind: PrimKind::SetTimerHandler,
+    },
 ];
 
 #[cfg(test)]
@@ -1260,10 +1525,7 @@ mod tests {
             Value::cons(Value::sym("a"), 1.into()),
             Value::cons(Value::sym("b"), 2.into()),
         ]);
-        assert_eq!(
-            call("assq", &[Value::sym("b"), alist.clone()]).unwrap().to_string(),
-            "(b . 2)"
-        );
+        assert_eq!(call("assq", &[Value::sym("b"), alist.clone()]).unwrap().to_string(), "(b . 2)");
         assert_eq!(call("assq", &[Value::sym("z"), alist]).unwrap(), Value::Bool(false));
     }
 

@@ -219,10 +219,8 @@ impl Resolver<'_> {
                 Box::new(self.resolve(e, false)?),
             )),
             Ast::Begin(es) => {
-                let rs = es
-                    .iter()
-                    .map(|e| self.resolve(e, toplevel))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let rs =
+                    es.iter().map(|e| self.resolve(e, toplevel)).collect::<Result<Vec<_>, _>>()?;
                 Ok(RExpr::Begin(rs))
             }
             Ast::Call(op, args) => Ok(RExpr::Call(
@@ -248,16 +246,14 @@ impl Resolver<'_> {
         self.frames.push(FrameScope { id: l.id, params: l.params.clone(), free: Vec::new() });
         let body = self.resolve(&l.body, false)?;
         let frame = self.frames.pop().expect("frame pushed above");
-        let boxed_params = (0..l.params.len())
-            .map(|i| self.assigned.contains(&(l.id, i)))
-            .collect();
+        let boxed_params =
+            (0..l.params.len()).map(|i| self.assigned.contains(&(l.id, i))).collect();
         // Resolve captures in the (now innermost) enclosing context; boxed
         // variables capture the cell itself, so raw reads either way.
         let mut captures = Vec::with_capacity(frame.free.len());
         for sym in &frame.free {
-            let (cap, _boxed) = self
-                .lookup(*sym)
-                .expect("free variable must be bound in an enclosing frame");
+            let (cap, _boxed) =
+                self.lookup(*sym).expect("free variable must be bound in an enclosing frame");
             captures.push(cap);
         }
         Ok(RExpr::Lambda(Rc::new(RLambda {
@@ -333,8 +329,16 @@ mod tests {
         let l1 = lambda_of(&r);
         let l2 = lambda_of(&l1.body);
         let l3 = lambda_of(&l2.body);
-        assert_eq!(l2.captures, vec![Capture::Local(2)], "middle captures a from its enclosing frame");
-        assert_eq!(l3.captures, vec![Capture::Free(0)], "inner captures a from the middle's closure");
+        assert_eq!(
+            l2.captures,
+            vec![Capture::Local(2)],
+            "middle captures a from its enclosing frame"
+        );
+        assert_eq!(
+            l3.captures,
+            vec![Capture::Free(0)],
+            "inner captures a from the middle's closure"
+        );
         assert!(matches!(l3.body, RExpr::FreeRef(0)));
     }
 

@@ -548,7 +548,8 @@ mod tests {
 
     #[test]
     fn cyclic_structures_print_without_hanging() {
-        let p = Rc::new(Pair { car: RefCell::new(Value::Fixnum(1)), cdr: RefCell::new(Value::Nil) });
+        let p =
+            Rc::new(Pair { car: RefCell::new(Value::Fixnum(1)), cdr: RefCell::new(Value::Nil) });
         *p.cdr.borrow_mut() = Value::Pair(p.clone());
         let s = Value::Pair(p).to_string();
         assert!(s.contains("..."));

@@ -328,9 +328,9 @@ impl Vm<'_> {
         self.stack.call(dh as usize, ra, 1, true)?;
         match self.enter_pushed(handler, 0)? {
             None => Ok(true),
-            Some(_) => Err(SchemeError::runtime(
-                "timer handler exited through a dead continuation",
-            )),
+            Some(_) => {
+                Err(SchemeError::runtime("timer handler exited through a dead continuation"))
+            }
         }
     }
 
@@ -365,16 +365,13 @@ impl Vm<'_> {
         argbase: usize,
         nargs: u16,
     ) -> Result<u16, SchemeError> {
-        let name =
-            c.name.map(|s| s.as_str()).unwrap_or_else(|| "procedure".into());
+        let name = c.name.map(|s| s.as_str()).unwrap_or_else(|| "procedure".into());
         if c.variadic {
             let required = c.nparams - 1;
             if nargs < required {
                 return Err(self.arity_error(&name, format!("at least {required}"), nargs));
             }
-            let rest = Value::list(
-                (required..nargs).map(|j| self.stack.get(argbase + j as usize)),
-            );
+            let rest = Value::list((required..nargs).map(|j| self.stack.get(argbase + j as usize)));
             self.stack.set(argbase + required as usize, rest);
             Ok(c.nparams)
         } else if nargs != c.nparams {
@@ -409,8 +406,7 @@ impl Vm<'_> {
         let PrimKind::Normal(f) = &def_of(p).kind else {
             unreachable!("special primitives are dispatched before run_primitive")
         };
-        let args: Vec<Value> =
-            (0..nargs as usize).map(|j| self.stack.get(argbase + j)).collect();
+        let args: Vec<Value> = (0..nargs as usize).map(|j| self.stack.get(argbase + j)).collect();
         // Primitives are leaf routines: no frame, no overflow check (§5).
         self.stack.metrics_mut().checks_elided += 1;
         f(&mut PrimCtx { out: self.out }, &args)
@@ -541,9 +537,7 @@ impl Vm<'_> {
                     ReturnAddress::Underflow => unreachable!(),
                 }
             }
-            other => Err(SchemeError::runtime(format!(
-                "attempt to apply non-procedure {other}"
-            ))),
+            other => Err(SchemeError::runtime(format!("attempt to apply non-procedure {other}"))),
         }
     }
 
@@ -562,9 +556,7 @@ impl Vm<'_> {
                     self.acc = self.run_primitive(p, 2, nargs)?;
                     self.do_return()
                 }
-                _ => Err(SchemeError::runtime(
-                    "call/cc of a special primitive is not supported",
-                )),
+                _ => Err(SchemeError::runtime("call/cc of a special primitive is not supported")),
             },
             Value::Kont(k) => {
                 let v = self.stack.get(2);
@@ -578,9 +570,7 @@ impl Vm<'_> {
                     ReturnAddress::Underflow => unreachable!(),
                 }
             }
-            other => {
-                Err(SchemeError::runtime(format!("attempt to apply non-procedure {other}")))
-            }
+            other => Err(SchemeError::runtime(format!("attempt to apply non-procedure {other}"))),
         }
     }
 
@@ -674,9 +664,7 @@ impl Vm<'_> {
                     ReturnAddress::Underflow => unreachable!(),
                 }
             }
-            other => Err(SchemeError::runtime(format!(
-                "attempt to apply non-procedure {other}"
-            ))),
+            other => Err(SchemeError::runtime(format!("attempt to apply non-procedure {other}"))),
         }
     }
 
@@ -687,9 +675,7 @@ impl Vm<'_> {
             Value::Closure(_) | Value::Kont(_) | Value::Primitive(_) => {
                 self.tail_with_op(f, src, nargs)
             }
-            other => Err(SchemeError::runtime(format!(
-                "attempt to apply non-procedure {other}"
-            ))),
+            other => Err(SchemeError::runtime(format!("attempt to apply non-procedure {other}"))),
         }
     }
 }

@@ -1,0 +1,173 @@
+//! Requests, job outcomes, and the join handle returned by `submit`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use segstack_baselines::Strategy;
+
+/// One unit of work: a Scheme program plus its service contract.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The program source (one or more top-level forms).
+    pub program: String,
+    /// Control-stack strategy the program runs on.
+    pub strategy: Strategy,
+    /// Cap on timer ticks (procedure calls) across all quanta; `None`
+    /// falls back to the runtime's default fuel cap.
+    pub fuel: Option<u64>,
+    /// Wall-clock budget from submission; the job is cancelled at the
+    /// first preemption point past the deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with the default strategy (segmented) and no limits
+    /// beyond the runtime's defaults.
+    pub fn new(program: impl Into<String>) -> Self {
+        Request {
+            program: program.into(),
+            strategy: Strategy::Segmented,
+            fuel: None,
+            deadline: None,
+        }
+    }
+
+    /// Selects the control-stack strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Caps total timer ticks for the job.
+    pub fn fuel(mut self, ticks: u64) -> Self {
+        self.fuel = Some(ticks);
+        self
+    }
+
+    /// Sets the wall-clock deadline, measured from submission.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// Why a job did not produce a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The handle's `cancel` was called before the job finished.
+    Cancelled,
+    /// The wall-clock deadline passed; the job was preempted
+    /// mid-computation and discarded.
+    DeadlineExceeded,
+    /// The tick budget ran out.
+    FuelExhausted,
+    /// The program raised a runtime/compile error.
+    Eval(String),
+    /// The runtime was torn down before the job produced an outcome.
+    Lost,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled => write!(f, "cancelled"),
+            JobError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            JobError::FuelExhausted => write!(f, "fuel exhausted"),
+            JobError::Eval(e) => write!(f, "evaluation error: {e}"),
+            JobError::Lost => write!(f, "runtime shut down before completion"),
+        }
+    }
+}
+
+/// What happened to a finished job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job's id (as returned by the handle).
+    pub id: u64,
+    /// The printed result value, or the failure.
+    pub result: Result<String, JobError>,
+    /// Quanta the job was granted.
+    pub quanta: u64,
+    /// Timer ticks (procedure calls) the job consumed.
+    pub ticks: u64,
+    /// Wall-clock time from submission to outcome.
+    pub latency: Duration,
+}
+
+/// State shared between a handle and the worker running the job.
+#[derive(Debug, Default)]
+pub(crate) struct JobFlags {
+    cancelled: AtomicBool,
+}
+
+impl JobFlags {
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// The scheduler-side record of a submitted job.
+pub(crate) struct JobSpec {
+    pub id: u64,
+    pub program: String,
+    pub strategy: Strategy,
+    /// Remaining tick budget (`None` = unlimited).
+    pub fuel: Option<u64>,
+    /// Absolute deadline (`None` = none).
+    pub deadline: Option<Instant>,
+    pub submitted: Instant,
+    pub flags: Arc<JobFlags>,
+    pub outcome_tx: SyncSender<JobOutcome>,
+}
+
+/// Await, poll, or cancel one submitted job.
+pub struct JoinHandle {
+    pub(crate) id: u64,
+    pub(crate) flags: Arc<JobFlags>,
+    pub(crate) outcome_rx: Receiver<JobOutcome>,
+}
+
+impl JoinHandle {
+    /// The job's id (unique within its runtime).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cancellation. The worker honours it at the next
+    /// preemption point; the outcome will be [`JobError::Cancelled`]
+    /// unless the job finished first.
+    pub fn cancel(&self) {
+        self.flags.cancel();
+    }
+
+    /// Blocks until the job's outcome arrives.
+    pub fn wait(self) -> JobOutcome {
+        let id = self.id;
+        self.outcome_rx.recv().unwrap_or_else(|_| lost(id))
+    }
+
+    /// Blocks up to `timeout`; `None` if the outcome has not arrived yet
+    /// (the handle remains usable).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        match self.outcome_rx.recv_timeout(timeout) {
+            Ok(outcome) => Some(outcome),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(lost(self.id)),
+        }
+    }
+
+    /// Non-blocking poll for the outcome.
+    pub fn try_wait(&self) -> Option<JobOutcome> {
+        self.wait_timeout(Duration::ZERO)
+    }
+}
+
+fn lost(id: u64) -> JobOutcome {
+    JobOutcome { id, result: Err(JobError::Lost), quanta: 0, ticks: 0, latency: Duration::ZERO }
+}

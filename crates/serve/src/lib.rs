@@ -1,0 +1,42 @@
+//! # segstack-serve
+//!
+//! A shared-nothing multi-worker evaluation runtime built on the paper's
+//! engine abstraction (Dybvig & Hieb, "Engines from Continuations"; §4–§5
+//! of *Representing Control in the Presence of First-Class Continuations*).
+//!
+//! A [`Runtime`] owns a pool of OS-thread workers. Each worker holds its
+//! own `segstack_scheme::Engine` — the VM is `Rc`-based and deliberately
+//! not `Send`, so nothing about a running program ever crosses a thread
+//! boundary. Requests enter a bounded MPMC queue; workers interleave
+//! several jobs each, granting engine quanta round-robin. Preemption is
+//! *continuation capture*: the engine timer (one tick per procedure call)
+//! fires mid-computation and the rest of the job is reified as a
+//! continuation, so a divergent `(let loop () (loop))` yields the worker
+//! after one quantum and can be cancelled on its fuel or wall-clock
+//! budget without poisoning anything.
+//!
+//! ```
+//! use std::time::Duration;
+//! use segstack_serve::{JobError, Request, Runtime, RuntimeConfig};
+//!
+//! let rt = Runtime::start(RuntimeConfig::with_workers(2).quantum(1_000));
+//! let ok = rt.submit(Request::new("(let fib ((n 20)) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")).unwrap();
+//! let bad = rt.submit(Request::new("(let loop () (loop))").deadline(Duration::from_millis(50))).unwrap();
+//! assert_eq!(ok.wait().result.unwrap(), "6765");
+//! assert_eq!(bad.wait().result.unwrap_err(), JobError::DeadlineExceeded);
+//! rt.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod metrics;
+mod queue;
+mod runtime;
+mod worker;
+
+pub use job::{JobError, JobOutcome, JoinHandle, Request};
+pub use metrics::{RuntimeSnapshot, WorkerMetrics};
+pub use queue::{Bounded, PushError};
+pub use runtime::{Runtime, RuntimeConfig, SubmitError};

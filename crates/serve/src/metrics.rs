@@ -1,0 +1,176 @@
+//! Per-worker service counters, aggregated into a runtime-wide snapshot.
+//!
+//! Each worker owns a [`WorkerMetrics`] record behind its own mutex
+//! (shared-nothing in the hot path: a worker only ever touches its own).
+//! A snapshot merges them — service counters added field-wise, the
+//! engines' cost-model counters merged losslessly via
+//! [`Metrics::merge`] — and renders as a table or a JSON document.
+
+use std::fmt;
+use std::time::Duration;
+
+use segstack_core::Metrics;
+
+/// Service counters for one worker (or, merged, the whole runtime).
+#[derive(Clone, Debug, Default)]
+pub struct WorkerMetrics {
+    /// Jobs admitted from the shared queue.
+    pub admitted: u64,
+    /// Jobs that produced a value.
+    pub completed: u64,
+    /// Jobs that raised an evaluation error.
+    pub eval_errors: u64,
+    /// Jobs cancelled via their handle.
+    pub cancelled: u64,
+    /// Jobs cancelled for missing their deadline.
+    pub deadline_exceeded: u64,
+    /// Jobs cancelled for exhausting their tick budget.
+    pub fuel_exhausted: u64,
+    /// Quanta granted across all jobs.
+    pub quanta: u64,
+    /// Timer ticks (procedure calls) consumed across all jobs.
+    pub ticks: u64,
+    /// Nanoseconds spent inside job quanta (excludes queue idle time).
+    pub busy_nanos: u64,
+    /// Control-stack cost counters from this worker's engines.
+    pub core: Metrics,
+}
+
+impl WorkerMetrics {
+    /// Jobs that reached *any* outcome.
+    pub fn finished(&self) -> u64 {
+        self.completed
+            + self.eval_errors
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.fuel_exhausted
+    }
+
+    /// Field-wise merge of another record into this one.
+    pub fn merge(&mut self, other: &WorkerMetrics) {
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.eval_errors += other.eval_errors;
+        self.cancelled += other.cancelled;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.fuel_exhausted += other.fuel_exhausted;
+        self.quanta += other.quanta;
+        self.ticks += other.ticks;
+        self.busy_nanos += other.busy_nanos;
+        self.core.merge(&other.core);
+    }
+
+    /// A single-line JSON object for this record.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"admitted\":{},\"completed\":{},\"eval_errors\":{},\"cancelled\":{},\
+             \"deadline_exceeded\":{},\"fuel_exhausted\":{},\"quanta\":{},\"ticks\":{},\
+             \"busy_nanos\":{},\"core\":{}}}",
+            self.admitted,
+            self.completed,
+            self.eval_errors,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.fuel_exhausted,
+            self.quanta,
+            self.ticks,
+            self.busy_nanos,
+            self.core.to_json()
+        )
+    }
+}
+
+impl fmt::Display for WorkerMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "admitted={} completed={} errors={} cancelled={} deadline={} fuel={} \
+             quanta={} ticks={} busy={:?}",
+            self.admitted,
+            self.completed,
+            self.eval_errors,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.fuel_exhausted,
+            self.quanta,
+            self.ticks,
+            Duration::from_nanos(self.busy_nanos),
+        )
+    }
+}
+
+/// A point-in-time view of the whole runtime.
+#[derive(Clone, Debug)]
+pub struct RuntimeSnapshot {
+    /// One record per worker, in worker-index order.
+    pub workers: Vec<WorkerMetrics>,
+    /// Jobs currently waiting in the shared queue.
+    pub queued: usize,
+}
+
+impl RuntimeSnapshot {
+    /// All worker records merged into one.
+    pub fn total(&self) -> WorkerMetrics {
+        let mut total = WorkerMetrics::default();
+        for w in &self.workers {
+            total.merge(w);
+        }
+        total
+    }
+
+    /// A JSON document: the merged totals plus each worker's record.
+    pub fn to_json(&self) -> String {
+        let workers: Vec<String> = self.workers.iter().map(WorkerMetrics::to_json).collect();
+        format!(
+            "{{\"queued\":{},\"total\":{},\"workers\":[{}]}}",
+            self.queued,
+            self.total().to_json(),
+            workers.join(",")
+        )
+    }
+}
+
+impl fmt::Display for RuntimeSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "queued: {}", self.queued)?;
+        writeln!(f, "total:  {}", self.total())?;
+        for (i, w) in self.workers.iter().enumerate() {
+            writeln!(f, "w{i}:     {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_service_and_core_counters() {
+        let mut a = WorkerMetrics { completed: 2, ticks: 100, ..Default::default() };
+        a.core.captures = 5;
+        let mut b = WorkerMetrics { completed: 3, cancelled: 1, ..Default::default() };
+        b.core.captures = 7;
+        a.merge(&b);
+        assert_eq!(a.completed, 5);
+        assert_eq!(a.cancelled, 1);
+        assert_eq!(a.ticks, 100);
+        assert_eq!(a.core.captures, 12);
+        assert_eq!(a.finished(), 6);
+    }
+
+    #[test]
+    fn snapshot_json_embeds_every_worker() {
+        let snap = RuntimeSnapshot {
+            workers: vec![
+                WorkerMetrics { completed: 1, ..Default::default() },
+                WorkerMetrics { completed: 2, ..Default::default() },
+            ],
+            queued: 3,
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"queued\":3"));
+        assert!(json.contains("\"completed\":3"), "totals merged: {json}");
+        assert_eq!(json.matches("\"core\":").count(), 3, "{json}");
+    }
+}

@@ -1,0 +1,239 @@
+//! The runtime: configuration, worker pool, submission, shutdown.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle as ThreadHandle;
+use std::time::Instant;
+
+use crate::job::{JobFlags, JobSpec, JoinHandle, Request};
+use crate::metrics::{RuntimeSnapshot, WorkerMetrics};
+use crate::queue::{Bounded, PushError};
+use crate::worker::Worker;
+
+/// Tuning knobs for a [`Runtime`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// OS-thread workers, each owning its own Scheme engines.
+    pub workers: usize,
+    /// Capacity of the shared submission queue (admission control).
+    pub queue_depth: usize,
+    /// Timer ticks (procedure calls) per engine quantum. Smaller quanta
+    /// preempt sooner; larger quanta amortise re-entry cost.
+    pub quantum: u64,
+    /// Fuel cap applied to requests that do not set their own; `None`
+    /// means unlimited by default.
+    pub default_fuel: Option<u64>,
+    /// Jobs a worker interleaves at once. Above this, jobs wait in the
+    /// shared queue where any worker can claim them.
+    pub max_inflight: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 2,
+            queue_depth: 256,
+            quantum: 10_000,
+            default_fuel: None,
+            max_inflight: 8,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A config with `workers` workers and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeConfig { workers: workers.max(1), ..Default::default() }
+    }
+
+    /// Sets the submission-queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the engine quantum in timer ticks.
+    pub fn quantum(mut self, ticks: u64) -> Self {
+        self.quantum = ticks.max(1);
+        self
+    }
+
+    /// Sets the default per-job fuel cap.
+    pub fn default_fuel(mut self, ticks: u64) -> Self {
+        self.default_fuel = Some(ticks);
+        self
+    }
+
+    /// Sets how many jobs one worker interleaves.
+    pub fn max_inflight(mut self, jobs: usize) -> Self {
+        self.max_inflight = jobs.max(1);
+        self
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The queue is at capacity (the request is handed back).
+    QueueFull(Request),
+    /// The runtime has shut down (the request is handed back).
+    ShutDown(Request),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => write!(f, "submission queue full"),
+            SubmitError::ShutDown(_) => write!(f, "runtime shut down"),
+        }
+    }
+}
+
+/// A pool of shared-nothing evaluation workers behind a bounded queue.
+///
+/// # Examples
+///
+/// ```
+/// use segstack_serve::{Request, Runtime, RuntimeConfig};
+///
+/// let rt = Runtime::start(RuntimeConfig::with_workers(2));
+/// let handle = rt.submit(Request::new("(+ 1 2)")).unwrap();
+/// assert_eq!(handle.wait().result.unwrap(), "3");
+/// rt.shutdown();
+/// ```
+pub struct Runtime {
+    injector: Arc<Bounded<JobSpec>>,
+    threads: Vec<ThreadHandle<()>>,
+    metrics: Vec<Arc<Mutex<WorkerMetrics>>>,
+    config: RuntimeConfig,
+    next_id: AtomicU64,
+    abort: Arc<AtomicBool>,
+}
+
+impl Runtime {
+    /// Spawns the worker pool and returns the running runtime.
+    pub fn start(config: RuntimeConfig) -> Self {
+        let injector = Arc::new(Bounded::new(config.queue_depth));
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        let mut metrics = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let cell = Arc::new(Mutex::new(WorkerMetrics::default()));
+            let worker = Worker {
+                injector: injector.clone(),
+                metrics: cell.clone(),
+                config: config.clone(),
+                abort: abort.clone(),
+            };
+            metrics.push(cell);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("segstack-worker-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker thread"),
+            );
+        }
+        Runtime { injector, threads, metrics, config, next_id: AtomicU64::new(0), abort }
+    }
+
+    /// Submits a request, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] if the runtime closed while waiting.
+    pub fn submit(&self, request: Request) -> Result<JoinHandle, SubmitError> {
+        let (spec, handle) = self.prepare(request);
+        match self.injector.push(spec) {
+            Ok(()) => Ok(handle),
+            Err(PushError::Closed(spec) | PushError::Full(spec)) => {
+                Err(SubmitError::ShutDown(respec(spec)))
+            }
+        }
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when at capacity, [`SubmitError::ShutDown`]
+    /// after shutdown. Both hand the request back.
+    pub fn try_submit(&self, request: Request) -> Result<JoinHandle, SubmitError> {
+        let (spec, handle) = self.prepare(request);
+        match self.injector.try_push(spec) {
+            Ok(()) => Ok(handle),
+            Err(PushError::Full(spec)) => Err(SubmitError::QueueFull(respec(spec))),
+            Err(PushError::Closed(spec)) => Err(SubmitError::ShutDown(respec(spec))),
+        }
+    }
+
+    fn prepare(&self, request: Request) -> (JobSpec, JoinHandle) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let flags = Arc::new(JobFlags::default());
+        let (outcome_tx, outcome_rx) = sync_channel(1);
+        let now = Instant::now();
+        let spec = JobSpec {
+            id,
+            program: request.program,
+            strategy: request.strategy,
+            fuel: request.fuel.or(self.config.default_fuel),
+            deadline: request.deadline.map(|d| now + d),
+            submitted: now,
+            flags: flags.clone(),
+            outcome_tx,
+        };
+        (spec, JoinHandle { id, flags, outcome_rx })
+    }
+
+    /// A point-in-time metrics snapshot across all workers.
+    pub fn metrics(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            workers: self
+                .metrics
+                .iter()
+                .map(|m| m.lock().expect("metrics poisoned").clone())
+                .collect(),
+            queued: self.injector.len(),
+        }
+    }
+
+    /// The config this runtime was started with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Graceful shutdown: stops accepting work, lets the workers drain
+    /// the queue and every in-flight job, joins them, and returns the
+    /// final metrics snapshot.
+    ///
+    /// Jobs keep their service contracts during the drain, so a
+    /// divergent job with no fuel cap or deadline will hold shutdown
+    /// open; cancel it (or drop the runtime, which aborts instead of
+    /// draining) to force progress.
+    pub fn shutdown(mut self) -> RuntimeSnapshot {
+        self.injector.close();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.metrics()
+    }
+}
+
+impl Drop for Runtime {
+    /// Dropping without [`Runtime::shutdown`] aborts: queued and
+    /// in-flight jobs resolve to [`crate::JobError::Cancelled`] at the
+    /// next preemption point, then the workers are joined.
+    fn drop(&mut self) {
+        self.abort.store(true, Ordering::Relaxed);
+        self.injector.close();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Rebuilds the user-facing request from a bounced spec so submit errors
+/// hand the work back intact.
+fn respec(spec: JobSpec) -> Request {
+    Request { program: spec.program, strategy: spec.strategy, fuel: spec.fuel, deadline: None }
+}

@@ -23,10 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let board = kit.eval("(car (queens 6))")?;
     let rows = board.list_to_vec()?;
     for r in 0..rows.len() {
-        let row: Vec<&str> = rows
-            .iter()
-            .map(|q| if q.to_string() == r.to_string() { "Q" } else { "." })
-            .collect();
+        let row: Vec<&str> =
+            rows.iter().map(|q| if q.to_string() == r.to_string() { "Q" } else { "." }).collect();
         println!("{}", row.join(" "));
     }
 
@@ -41,9 +39,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{v}");
 
     let m = kit.metrics();
-    println!(
-        "\ncontrol-stack work: captures={}, reinstatements={}",
-        m.captures, m.reinstatements
-    );
+    println!("\ncontrol-stack work: captures={}, reinstatements={}", m.captures, m.reinstatements);
     Ok(())
 }

@@ -9,11 +9,8 @@ use segstack::scheme::Engine;
 const META: &str = include_str!("../tests/programs/meta.scm");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let strategy: Strategy = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(Strategy::Segmented);
+    let strategy: Strategy =
+        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(Strategy::Segmented);
     let mut engine = Engine::builder().strategy(strategy).build()?;
 
     println!("== loading the metacircular evaluator (strategy: {strategy}) ==");
@@ -34,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  16)
                (base-env))",
         ),
-        (
-            "lists",
-            "(meta-eval '(let ((xs (list 1 2 3))) (cons (car xs) (cdr xs))) (base-env))",
-        ),
+        ("lists", "(meta-eval '(let ((xs (list 1 2 3))) (cons (car xs) (cdr xs))) (base-env))"),
     ] {
         let v = engine.eval(src)?;
         println!("{label:44} => {v}");

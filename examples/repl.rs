@@ -42,11 +42,10 @@ fn paren_balance(src: &str) -> i32 {
                     }
                 }
             }
-            '#'
-                if chars.peek() == Some(&'\\') => {
-                    chars.next();
-                    chars.next(); // the literal character, even if a paren
-                }
+            '#' if chars.peek() == Some(&'\\') => {
+                chars.next();
+                chars.next(); // the literal character, even if a paren
+            }
             _ => {}
         }
     }
@@ -54,11 +53,8 @@ fn paren_balance(src: &str) -> i32 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let strategy: Strategy = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(Strategy::Segmented);
+    let strategy: Strategy =
+        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(Strategy::Segmented);
     let mut engine = Engine::with_strategy(strategy)?;
     println!("segstack Scheme — strategy: {strategy}. ,metrics ,stats ,dis [name] ,quit");
 

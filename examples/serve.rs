@@ -1,0 +1,69 @@
+//! The serve runtime: many Scheme jobs, few workers, engine preemption.
+//!
+//! Engines (§4–§5 of the paper, via Dybvig & Hieb's "Engines from
+//! Continuations") turn the segmented stack's cheap continuation capture
+//! into preemptive multitasking: the timer interrupt fires mid-program,
+//! the rest of the computation is captured as a continuation, and the
+//! scheduler decides who runs next. `segstack-serve` scales that to a
+//! pool of OS threads — each worker owns its own engines, jobs share
+//! nothing, and a divergent program is just another job that runs out of
+//! budget.
+//!
+//! Run with `cargo run --example serve`.
+
+use std::time::Duration;
+
+use segstack::baselines::Strategy;
+use segstack::serve::{JobError, Request, Runtime, RuntimeConfig};
+
+fn main() {
+    let rt = Runtime::start(RuntimeConfig::with_workers(2).quantum(2_000).queue_depth(64));
+
+    println!("== a mixed batch across strategies ==");
+    let batch = [
+        ("fib 20", "(let fib ((n 20)) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"),
+        ("reverse via fold", "(fold-left (lambda (acc x) (cons x acc)) '() (iota 10))"),
+        ("call/cc escape", "(* 7 (call/cc (lambda (k) (k 6) 999)))"),
+    ];
+    let handles: Vec<_> = batch
+        .iter()
+        .zip([Strategy::Segmented, Strategy::Heap, Strategy::Copy])
+        .map(|((name, src), strategy)| {
+            (*name, rt.submit(Request::new(*src).strategy(strategy)).unwrap())
+        })
+        .collect();
+    for (name, h) in handles {
+        let o = h.wait();
+        println!(
+            "{name:<18} -> {:<28} ({} quanta, {} ticks, {:.1}ms)",
+            o.result.unwrap(),
+            o.quanta,
+            o.ticks,
+            o.latency.as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\n== a divergent job meets its deadline ==");
+    let doomed = rt
+        .submit(Request::new("(let loop () (loop))").deadline(Duration::from_millis(30)))
+        .unwrap();
+    let o = doomed.wait();
+    assert_eq!(o.result.unwrap_err(), JobError::DeadlineExceeded);
+    println!(
+        "cancelled mid-computation after {} quanta / {} ticks; the worker survives:",
+        o.quanta, o.ticks
+    );
+    let alive = rt.submit(Request::new("(+ 20 22)")).unwrap().wait();
+    println!("follow-up job on the same pool -> {}", alive.result.unwrap());
+
+    println!("\n== a fuel budget caps total ticks ==");
+    let capped = rt.submit(Request::new("(let loop () (loop))").fuel(10_000)).unwrap();
+    let o = capped.wait();
+    assert_eq!(o.result.unwrap_err(), JobError::FuelExhausted);
+    println!("fuel-exhausted after {} ticks (budget 10000)", o.ticks);
+
+    println!("\n== final runtime metrics ==");
+    let snapshot = rt.shutdown();
+    print!("{snapshot}");
+    println!("json: {}", snapshot.to_json());
+}

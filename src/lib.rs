@@ -19,6 +19,9 @@
 //!   compiler, bytecode VM) parameterised over any control-stack strategy.
 //! * [`control`] (`segstack-control`) — coroutines, generators, engines and
 //!   `amb`, built from `call/cc`.
+//! * [`serve`] (`segstack-serve`) — a shared-nothing multi-worker evaluation
+//!   runtime: engine-quantum preemption, per-job fuel and deadlines, fair
+//!   round-robin scheduling over a bounded admission queue.
 //!
 //! ## Quick start
 //!
@@ -48,3 +51,4 @@ pub use segstack_baselines as baselines;
 pub use segstack_control as control;
 pub use segstack_core as core;
 pub use segstack_scheme as scheme;
+pub use segstack_serve as serve;

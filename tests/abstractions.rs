@@ -8,12 +8,7 @@ use segstack::core::Config;
 use segstack::scheme::CheckPolicy;
 
 fn stressed() -> Config {
-    Config::builder()
-        .segment_slots(384)
-        .frame_bound(48)
-        .copy_bound(24)
-        .build()
-        .unwrap()
+    Config::builder().segment_slots(384).frame_bound(48).copy_bound(24).build().unwrap()
 }
 
 #[test]

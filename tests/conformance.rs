@@ -201,10 +201,7 @@ const CASES: &[(&str, &str)] = &[
         "#(0 1 4 9 16)",
     ),
     ("(force (delay (+ 1 2)))", "3"),
-    (
-        "(let ((p (delay (+ 1 2)))) (list (force p) (force p)))",
-        "(3 3)",
-    ),
+    ("(let ((p (delay (+ 1 2)))) (list (force p) (force p)))", "(3 3)"),
     ("(call-with-current-continuation procedure?)", "#t"),
     (
         "(call-with-current-continuation
@@ -249,13 +246,9 @@ fn r3rs_battery_on_the_segmented_stack() {
 
 #[test]
 fn r3rs_battery_on_every_other_strategy() {
-    for s in [
-        Strategy::Heap,
-        Strategy::Copy,
-        Strategy::Cache,
-        Strategy::Hybrid,
-        Strategy::Incremental,
-    ] {
+    for s in
+        [Strategy::Heap, Strategy::Copy, Strategy::Cache, Strategy::Hybrid, Strategy::Incremental]
+    {
         let mut failures = Vec::new();
         for (src, expected) in CASES {
             let mut e = engine(s);

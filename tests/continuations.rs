@@ -155,12 +155,7 @@ fn segmented_looper_allocates_no_extra_segments() {
 fn deep_recursion_across_overflow_with_reentry() {
     // Capture below several segment boundaries, then re-enter after a full
     // unwind: reinstatement must chain through split segments.
-    let cfg = Config::builder()
-        .segment_slots(512)
-        .frame_bound(64)
-        .copy_bound(64)
-        .build()
-        .unwrap();
+    let cfg = Config::builder().segment_slots(512).frame_bound(64).copy_bound(64).build().unwrap();
     for s in Strategy::ALL {
         let mut e = Engine::builder()
             .strategy(s)
@@ -225,11 +220,7 @@ fn continuation_identity_semantics() {
 #[test]
 fn check_policies_do_not_change_semantics() {
     for policy in [CheckPolicy::Always, CheckPolicy::Elide] {
-        let mut e = Engine::builder()
-            .check_policy(policy)
-            .max_steps(200_000_000)
-            .build()
-            .unwrap();
+        let mut e = Engine::builder().check_policy(policy).max_steps(200_000_000).build().unwrap();
         let v = e.eval_to_string(include_str!("programs/ctak.scm")).unwrap();
         assert_eq!(v, "5", "{policy:?}");
         let v = e

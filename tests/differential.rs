@@ -7,11 +7,8 @@
 //! check that equivalence on a fixed corpus and on randomly generated
 //! programs.
 
-use proptest::prelude::*;
-// `baselines::Strategy` shadows proptest's `Strategy` trait from the
-// prelude glob; bring the trait's methods back in anonymously.
-use proptest::strategy::Strategy as _;
 use segstack::baselines::Strategy;
+use segstack::core::rng::SplitMix64;
 use segstack::core::Config;
 use segstack::scheme::{CheckPolicy, Engine};
 
@@ -31,7 +28,9 @@ fn run_on(strategy: Strategy, cfg: &Config, src: &str) -> Result<String, String>
 #[track_caller]
 fn agree(cfg: &Config, src: &str) {
     let reference = run_on(Strategy::Segmented, cfg, src);
-    for s in [Strategy::Heap, Strategy::Copy, Strategy::Cache, Strategy::Hybrid, Strategy::Incremental] {
+    for s in
+        [Strategy::Heap, Strategy::Copy, Strategy::Cache, Strategy::Hybrid, Strategy::Incremental]
+    {
         let got = run_on(s, cfg, src);
         assert_eq!(got, reference, "strategy {s} diverges on:\n{src}");
     }
@@ -44,12 +43,7 @@ fn default_cfg() -> Config {
 /// A stressed configuration: small segments force frequent overflow,
 /// a tiny copy bound forces splitting on nearly every reinstatement.
 fn stressed_cfg() -> Config {
-    Config::builder()
-        .segment_slots(256)
-        .frame_bound(48)
-        .copy_bound(16)
-        .build()
-        .unwrap()
+    Config::builder().segment_slots(256).frame_bound(48).copy_bound(16).build().unwrap()
 }
 
 const CORPUS: &[(&str, &str)] = &[
@@ -67,10 +61,7 @@ const CORPUS: &[(&str, &str)] = &[
     ("queens", include_str!("programs/queens.scm")),
     ("generators", include_str!("programs/generators.scm")),
     ("boyer", include_str!("programs/boyer.scm")),
-    (
-        "deep-sum",
-        "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 30000)",
-    ),
+    ("deep-sum", "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 30000)"),
     (
         "ackermann",
         "(define (ack m n)
@@ -111,10 +102,7 @@ const CORPUS: &[(&str, &str)] = &[
            (if (= n 0) (display \"go\") (begin (display n) (display \" \") (countdown (- n 1)))))
          (countdown 5)",
     ),
-    (
-        "errors",
-        "(define (boom) (car 42)) (boom)",
-    ),
+    ("errors", "(define (boom) (car 42)) (boom)"),
 ];
 
 #[test]
@@ -122,7 +110,13 @@ fn corpus_agrees_on_default_config() {
     for (name, src) in CORPUS {
         let cfg = default_cfg();
         let reference = run_on(Strategy::Segmented, &cfg, src);
-        for s in [Strategy::Heap, Strategy::Copy, Strategy::Cache, Strategy::Hybrid, Strategy::Incremental] {
+        for s in [
+            Strategy::Heap,
+            Strategy::Copy,
+            Strategy::Cache,
+            Strategy::Hybrid,
+            Strategy::Incremental,
+        ] {
             assert_eq!(run_on(s, &cfg, src), reference, "{name} diverges under {s}");
         }
     }
@@ -133,7 +127,13 @@ fn corpus_agrees_under_stress_config() {
     for (name, src) in CORPUS {
         let cfg = stressed_cfg();
         let reference = run_on(Strategy::Segmented, &cfg, src);
-        for s in [Strategy::Heap, Strategy::Copy, Strategy::Cache, Strategy::Hybrid, Strategy::Incremental] {
+        for s in [
+            Strategy::Heap,
+            Strategy::Copy,
+            Strategy::Cache,
+            Strategy::Hybrid,
+            Strategy::Incremental,
+        ] {
             assert_eq!(run_on(s, &cfg, src), reference, "{name} diverges under {s} (stressed)");
         }
     }
@@ -145,11 +145,8 @@ fn corpus_agrees_across_check_policies() {
     for (name, src) in CORPUS {
         let mut results = Vec::new();
         for policy in [CheckPolicy::Always, CheckPolicy::Elide] {
-            let mut e = Engine::builder()
-                .check_policy(policy)
-                .max_steps(50_000_000)
-                .build()
-                .unwrap();
+            let mut e =
+                Engine::builder().check_policy(policy).max_steps(50_000_000).build().unwrap();
             let r = e.eval(src).map(|v| v.to_string()).map_err(|e| e.to_string());
             results.push((policy, r));
         }
@@ -162,102 +159,119 @@ fn corpus_agrees_across_check_policies() {
 /// Variable pool for generated programs.
 const VARS: [&str; 5] = ["va", "vb", "vc", "vd", "ve"];
 
-/// Generates a deterministic expression using only bound variables from
-/// `bound` (a bitmask over [`VARS`]). `k_depth` counts enclosing `call/cc`
-/// receivers whose continuation parameter may be invoked.
-fn arb_expr(depth: u32, bound: u8, k_depth: u8) -> BoxedStrategy<String> {
-    let mut leaves: Vec<BoxedStrategy<String>> =
-        vec![(-50i64..50).prop_map(|n| n.to_string()).boxed()];
+/// Draws a numeric leaf or (when available) a bound variable from the
+/// bitmask over [`VARS`].
+fn leaf(rng: &mut SplitMix64, bound: u8) -> String {
     let bound_vars: Vec<&'static str> =
         VARS.iter().enumerate().filter(|(i, _)| bound & (1 << i) != 0).map(|(_, v)| *v).collect();
-    if !bound_vars.is_empty() {
-        leaves.push(proptest::sample::select(bound_vars).prop_map(str::to_owned).boxed());
+    if !bound_vars.is_empty() && rng.gen_bool() {
+        (*rng.choose(&bound_vars)).to_string()
+    } else {
+        rng.gen_range_i64(-50, 50).to_string()
     }
-    let leaf = proptest::strategy::Union::new(leaves).boxed();
-    if depth == 0 {
-        return leaf;
-    }
-    let sub = || arb_expr(depth - 1, bound, k_depth);
-    let mut choices: Vec<BoxedStrategy<String>> = vec![
-        leaf.clone(),
-        (sub(), sub()).prop_map(|(a, b)| format!("(+ {a} {b})")).boxed(),
-        (sub(), sub()).prop_map(|(a, b)| format!("(- {a} {b})")).boxed(),
-        (sub(), sub()).prop_map(|(a, b)| format!("(min {a} (* 3 {b}))")).boxed(),
-        (sub(), sub(), sub())
-            .prop_map(|(c, t, e)| format!("(if (< {c} 0) {t} {e})"))
-            .boxed(),
-        (sub(), sub()).prop_map(|(a, b)| format!("(begin {a} {b})")).boxed(),
-    ];
-    // let-binding an unbound or shadowed variable.
-    for (i, v) in VARS.iter().enumerate() {
-        if i < 2 || bound & (1 << i) != 0 {
-            let inner = arb_expr(depth - 1, bound | (1 << i), k_depth);
-            let init = sub();
-            choices
-                .push((init, inner).prop_map(move |(a, b)| format!("(let (({v} {a})) {b})")).boxed());
-        }
-    }
-    // set! on a bound variable.
-    if bound != 0 {
-        let bound_vars: Vec<&'static str> = VARS
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| bound & (1 << i) != 0)
-            .map(|(_, v)| *v)
-            .collect();
-        let var = proptest::sample::select(bound_vars);
-        choices.push(
-            (var, sub(), sub())
-                .prop_map(|(v, a, b)| format!("(begin (set! {v} {a}) {b})"))
-                .boxed(),
-        );
-    }
-    // Direct lambda application (exercises closures and frames).
-    {
-        let inner = arb_expr(depth - 1, bound | 1, k_depth);
-        choices.push(
-            (inner, sub())
-                .prop_map(|(b, a)| format!("((lambda ({}) {b}) {a})", VARS[0]))
-                .boxed(),
-        );
-    }
-    // call/cc: the continuation may be invoked (escape) or ignored.
-    if k_depth < 3 {
-        let kname = format!("k{k_depth}");
-        let body = arb_expr(depth - 1, bound, k_depth + 1);
-        let escape = proptest::bool::ANY;
-        let arg = sub();
-        choices.push(
-            (body, escape, arg)
-                .prop_map(move |(b, esc, a)| {
-                    if esc {
-                        format!("(call/cc (lambda ({kname}) (+ 1 ({kname} {a}) {b})))")
-                    } else {
-                        format!("(call/cc (lambda ({kname}) {b}))")
-                    }
-                })
-                .boxed(),
-        );
-    }
-    proptest::strategy::Union::new(choices).boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Generates a deterministic expression using only bound variables from
+/// `bound` (a bitmask over [`VARS`]). `k_depth` counts enclosing `call/cc`
+/// receivers whose continuation parameter may be invoked. Draws come from
+/// the seeded generator, so a failing program is reproducible from its
+/// seed alone.
+fn arb_expr(rng: &mut SplitMix64, depth: u32, bound: u8, k_depth: u8) -> String {
+    if depth == 0 {
+        return leaf(rng, bound);
+    }
+    let sub = |rng: &mut SplitMix64| arb_expr(rng, depth - 1, bound, k_depth);
+    loop {
+        match rng.gen_range(0, 10) {
+            0 => return leaf(rng, bound),
+            1 => {
+                let (a, b) = (sub(rng), sub(rng));
+                return format!("(+ {a} {b})");
+            }
+            2 => {
+                let (a, b) = (sub(rng), sub(rng));
+                return format!("(- {a} {b})");
+            }
+            3 => {
+                let (a, b) = (sub(rng), sub(rng));
+                return format!("(min {a} (* 3 {b}))");
+            }
+            4 => {
+                let (c, t, e) = (sub(rng), sub(rng), sub(rng));
+                return format!("(if (< {c} 0) {t} {e})");
+            }
+            5 => {
+                let (a, b) = (sub(rng), sub(rng));
+                return format!("(begin {a} {b})");
+            }
+            6 => {
+                // let-binding an unbound or shadowed variable.
+                let eligible: Vec<usize> =
+                    (0..VARS.len()).filter(|&i| i < 2 || bound & (1 << i) != 0).collect();
+                let i = *rng.choose(&eligible);
+                let v = VARS[i];
+                let a = sub(rng);
+                let b = arb_expr(rng, depth - 1, bound | (1 << i), k_depth);
+                return format!("(let (({v} {a})) {b})");
+            }
+            7 => {
+                // set! on a bound variable, when any is in scope.
+                if bound == 0 {
+                    continue;
+                }
+                let bound_vars: Vec<&'static str> = VARS
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| bound & (1 << i) != 0)
+                    .map(|(_, v)| *v)
+                    .collect();
+                let v = *rng.choose(&bound_vars);
+                let (a, b) = (sub(rng), sub(rng));
+                return format!("(begin (set! {v} {a}) {b})");
+            }
+            8 => {
+                // Direct lambda application (exercises closures and frames).
+                let b = arb_expr(rng, depth - 1, bound | 1, k_depth);
+                let a = sub(rng);
+                return format!("((lambda ({}) {b}) {a})", VARS[0]);
+            }
+            _ => {
+                // call/cc: the continuation may be invoked (escape) or
+                // ignored; nesting is capped at three receivers.
+                if k_depth >= 3 {
+                    continue;
+                }
+                let kname = format!("k{k_depth}");
+                let b = arb_expr(rng, depth - 1, bound, k_depth + 1);
+                if rng.gen_bool() {
+                    let a = sub(rng);
+                    return format!("(call/cc (lambda ({kname}) (+ 1 ({kname} {a}) {b})))");
+                }
+                return format!("(call/cc (lambda ({kname}) {b}))");
+            }
+        }
+    }
+}
 
-    /// Random programs evaluate identically on all six strategies, both on
-    /// the default and on the stressed configuration.
-    #[test]
-    fn random_programs_agree(src in arb_expr(4, 0, 0)) {
+/// Random programs evaluate identically on all six strategies, both on
+/// the default and on the stressed configuration.
+#[test]
+fn random_programs_agree() {
+    for seed in 0..64u64 {
+        let src = arb_expr(&mut SplitMix64::new(seed), 4, 0, 0);
         agree(&default_cfg(), &src);
         agree(&stressed_cfg(), &src);
     }
+}
 
-    /// Random programs under a deep driver: run the generated expression
-    /// inside a non-tail recursion so captures happen at depth and
-    /// overflow/underflow paths engage under the stressed configuration.
-    #[test]
-    fn random_programs_agree_at_depth(src in arb_expr(3, 0, 0)) {
+/// Random programs under a deep driver: run the generated expression
+/// inside a non-tail recursion so captures happen at depth and
+/// overflow/underflow paths engage under the stressed configuration.
+#[test]
+fn random_programs_agree_at_depth() {
+    // A disjoint seed range from `random_programs_agree`, for variety.
+    for seed in 5000..5064u64 {
+        let src = arb_expr(&mut SplitMix64::new(seed), 3, 0, 0);
         let program = format!(
             "(define (drive n) (if (= n 0) {src} (+ 1 (drive (- n 1)))))
              (drive 60)"

@@ -59,12 +59,17 @@ fn binding_forms() {
     check("(let ((x 2) (y 3)) (* x y))", "6");
     check("(let ((x 2)) (let ((x 7) (y x)) (* x y)))", "14");
     check("(let* ((x 2) (y (* x 3))) (* x y))", "12");
-    check("(letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1)))))
+    check(
+        "(letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1)))))
                     (odd? (lambda (n) (if (= n 0) #f (even? (- n 1))))))
-           (even? 88))", "#t");
+           (even? 88))",
+        "#t",
+    );
     check("(let loop ((n 5) (acc 1)) (if (= n 0) acc (loop (- n 1) (* acc n))))", "120");
-    check("(do ((v (make-vector 5)) (i 0 (+ i 1))) ((= i 5) v) (vector-set! v i i))",
-          "#(0 1 2 3 4)");
+    check(
+        "(do ((v (make-vector 5)) (i 0 (+ i 1))) ((= i 5) v) (vector-set! v i i))",
+        "#(0 1 2 3 4)",
+    );
 }
 
 #[test]
@@ -72,20 +77,29 @@ fn lambdas_and_closures() {
     check("((lambda (x) (+ x x)) 4)", "8");
     check("((lambda (x . rest) (list x rest)) 1 2 3)", "(1 (2 3))");
     check("((lambda args args) 3 4 5 6)", "(3 4 5 6)");
-    check("(define compose (lambda (f g) (lambda (x) (f (g x)))))
-           ((compose car cdr) '(a b c))", "b");
-    check("(define (curry2 f) (lambda (a) (lambda (b) (f a b))))
-           (((curry2 +) 1) 2)", "3");
+    check(
+        "(define compose (lambda (f g) (lambda (x) (f (g x)))))
+           ((compose car cdr) '(a b c))",
+        "b",
+    );
+    check(
+        "(define (curry2 f) (lambda (a) (lambda (b) (f a b))))
+           (((curry2 +) 1) 2)",
+        "3",
+    );
 }
 
 #[test]
 fn assignment_and_state() {
     check("(define x 1) (set! x 11) x", "11");
-    check("(define (make-cell v)
+    check(
+        "(define (make-cell v)
              (cons (lambda () v) (lambda (nv) (set! v nv))))
            (define c (make-cell 1))
            ((cdr c) 99)
-           ((car c))", "99");
+           ((car c))",
+        "99",
+    );
 }
 
 #[test]
@@ -147,10 +161,7 @@ fn vectors_and_strings() {
 #[test]
 fn proper_tail_calls_do_not_grow_the_stack() {
     // One million iterations: impossible without proper tail calls.
-    check(
-        "(define (loop n) (if (= n 0) 'done (loop (- n 1)))) (loop 1000000)",
-        "done",
-    );
+    check("(define (loop n) (if (= n 0) 'done (loop (- n 1)))) (loop 1000000)", "done");
     // Mutual recursion in tail position.
     check(
         "(define (even? n) (if (= n 0) #t (odd? (- n 1))))
@@ -253,21 +264,11 @@ fn runtime_errors_carry_backtraces() {
 fn backtraces_cross_segment_boundaries() {
     use segstack::baselines::Strategy;
     use segstack::core::Config;
-    let cfg = Config::builder()
-        .segment_slots(160)
-        .frame_bound(48)
-        .copy_bound(16)
-        .build()
-        .unwrap();
-    let mut e = Engine::builder()
-        .strategy(Strategy::Segmented)
-        .config(cfg)
-        .build()
-        .unwrap();
+    let cfg = Config::builder().segment_slots(160).frame_bound(48).copy_bound(16).build().unwrap();
+    let mut e = Engine::builder().strategy(Strategy::Segmented).config(cfg).build().unwrap();
     // Deep recursion spans many segments; the walk must cross the sealed
     // records.
-    e.eval("(define (deep n) (if (= n 0) (car 'boom) (+ 1 (deep (- n 1)))))")
-        .unwrap();
+    e.eval("(define (deep n) (if (= n 0) (car 'boom) (+ 1 (deep (- n 1)))))").unwrap();
     let err = e.eval("(deep 50)").unwrap_err().to_string();
     let count = err.matches("in deep").count();
     assert!(count >= 10, "walk stopped early ({count} frames): {err}");

@@ -10,12 +10,7 @@ use segstack::core::{Config, StackError};
 use segstack::scheme::{Engine, SchemeError};
 
 fn tiny_cfg(segment: usize, copy_bound: usize) -> Config {
-    Config::builder()
-        .segment_slots(segment)
-        .frame_bound(48)
-        .copy_bound(copy_bound)
-        .build()
-        .unwrap()
+    Config::builder().segment_slots(segment).frame_bound(48).copy_bound(copy_bound).build().unwrap()
 }
 
 #[test]
@@ -23,9 +18,7 @@ fn deep_recursion_under_tiny_segments() {
     // Segments barely larger than the reserve: nearly every call overflows.
     let cfg = tiny_cfg(160, 16);
     let mut e = Engine::builder().config(cfg).max_steps(100_000_000).build().unwrap();
-    let v = e
-        .eval("(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 20000)")
-        .unwrap();
+    let v = e.eval("(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 20000)").unwrap();
     assert_eq!(v.to_string(), "200010000");
     let m = e.metrics();
     assert!(m.overflows > 1000, "only {} overflows", m.overflows);
@@ -57,11 +50,7 @@ fn copy_bound_one_frame_still_works() {
 fn ctak_under_every_tiny_config() {
     for (segment, copy_bound) in [(160, 4), (256, 16), (512, 64), (1024, 1)] {
         let cfg = tiny_cfg(segment, copy_bound);
-        let mut e = Engine::builder()
-            .config(cfg)
-            .max_steps(100_000_000)
-            .build()
-            .unwrap();
+        let mut e = Engine::builder().config(cfg).max_steps(100_000_000).build().unwrap();
         let v = e.eval(include_str!("programs/ctak.scm")).unwrap();
         assert_eq!(v.to_string(), "5", "segment={segment} copy_bound={copy_bound}");
     }
@@ -80,9 +69,8 @@ fn budget_exhaustion_is_a_clean_error() {
         .build()
         .unwrap();
     let mut e = Engine::builder().config(cfg).max_steps(100_000_000).build().unwrap();
-    let err = e
-        .eval("(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 1000000)")
-        .unwrap_err();
+    let err =
+        e.eval("(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 1000000)").unwrap_err();
     match err {
         SchemeError::Stack(StackError::OutOfStackMemory { .. }) => {}
         other => panic!("expected OutOfStackMemory, got {other}"),
@@ -139,19 +127,10 @@ fn overflow_boundary_loop_does_not_bounce_on_segmented() {
 
 #[test]
 fn engine_reset_recovers_from_stack_errors_on_all_strategies() {
-    let cfg = Config::builder()
-        .segment_slots(256)
-        .frame_bound(48)
-        .copy_bound(32)
-        .build()
-        .unwrap();
+    let cfg = Config::builder().segment_slots(256).frame_bound(48).copy_bound(32).build().unwrap();
     for s in Strategy::ALL {
-        let mut e = Engine::builder()
-            .strategy(s)
-            .config(cfg.clone())
-            .max_steps(400_000)
-            .build()
-            .unwrap();
+        let mut e =
+            Engine::builder().strategy(s).config(cfg.clone()).max_steps(400_000).build().unwrap();
         // Exhaust the step budget mid-recursion: the stack is left deep.
         let err = e.eval("(define (spin n) (spin (+ n 1))) (spin 0)").unwrap_err();
         assert!(err.to_string().contains("step budget"), "{s}: {err}");
@@ -180,11 +159,7 @@ fn chains_of_continuations_drop_safely_on_all_strategies() {
     // Each captured continuation's saved state contains the previous one:
     // a 60000-deep ownership chain at teardown (iterative Drop).
     for s in Strategy::ALL {
-        let mut e = Engine::builder()
-            .strategy(s)
-            .max_steps(200_000_000)
-            .build()
-            .unwrap();
+        let mut e = Engine::builder().strategy(s).max_steps(200_000_000).build().unwrap();
         e.eval(
             "(define (looper n k) (if (= n 0) 'done (looper (- n 1) (call/cc (lambda (c) c)))))
              (looper 60000 #f)",

@@ -3,8 +3,8 @@
 //! verified invariants are exactly what stack walking (Figure 4), timer
 //! re-entry and bounded frames rely on.
 
-use segstack::control::Control;
 use segstack::baselines::Strategy;
+use segstack::control::Control;
 use segstack::scheme::{CheckPolicy, Engine};
 
 #[test]
@@ -23,9 +23,12 @@ fn every_compiled_chunk_verifies() {
         kit.eval(src).unwrap();
     }
     let errors = kit.engine().verify_code();
-    assert!(errors.is_empty(), "{} violations:\n{}",
+    assert!(
+        errors.is_empty(),
+        "{} violations:\n{}",
         errors.len(),
-        errors.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n"));
+        errors.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
     assert!(kit.engine().chunk_count() > 150, "corpus compiled into many chunks");
 }
 
