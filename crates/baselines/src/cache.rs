@@ -45,11 +45,42 @@ impl<S: StackSlot> KontRepr<S> for CacheKont<S> {
     }
 
     fn retained_slots(&self) -> usize {
-        self.image.len() + self.link.as_ref().map_or(0, Continuation::retained_slots)
+        // Iterative: a deep recursion flushes one block per overflow, so
+        // chains reach hundreds of thousands of links — recursing here
+        // would overflow the native stack.
+        let mut total = self.image.len();
+        let mut link = self.link.clone();
+        while let Some(k) = link {
+            match k.repr().as_any().downcast_ref::<CacheKont<S>>() {
+                Some(b) => {
+                    total += b.image.len();
+                    link = b.link.clone();
+                }
+                None => {
+                    total += k.retained_slots();
+                    break;
+                }
+            }
+        }
+        total
     }
 
     fn chain_len(&self) -> usize {
-        1 + self.link.as_ref().map_or(0, Continuation::chain_len)
+        let mut n = 1;
+        let mut link = self.link.clone();
+        while let Some(k) = link {
+            match k.repr().as_any().downcast_ref::<CacheKont<S>>() {
+                Some(b) => {
+                    n += 1;
+                    link = b.link.clone();
+                }
+                None => {
+                    n += k.chain_len();
+                    break;
+                }
+            }
+        }
+        n
     }
 
     fn strategy(&self) -> &'static str {

@@ -1,0 +1,49 @@
+//! Deep-chain teardown for the baseline strategies: flushed-segment
+//! chains (cache) and dynamic-link frame chains (heap) with 100k+ links
+//! must measure and drop without native-stack recursion, mirroring the
+//! equivalent test for the segmented machine in `segstack-core`.
+
+use segstack_baselines::Strategy;
+use segstack_core::{Config, TestCode, TestSlot};
+use std::rc::Rc;
+
+const DEEP: usize = 120_000;
+
+fn tiny_cfg() -> Config {
+    Config::builder().segment_slots(12).frame_bound(4).copy_bound(4).build().unwrap()
+}
+
+/// The stack cache flushes one record per overflow; a long computation
+/// on a tiny cache builds a 100k-record chain. The chain accessors and
+/// the teardown must both be iterative.
+#[test]
+fn cache_flush_chain_tears_down_iteratively() {
+    let code = Rc::new(TestCode::new());
+    let ra = code.ret_point(4);
+    let mut stack = Strategy::Cache.build::<TestSlot>(tiny_cfg(), code.clone()).unwrap();
+    while (stack.metrics().overflows as usize) < DEEP {
+        stack.call(4, ra, 0, true).unwrap();
+    }
+    let k = stack.capture();
+    assert!(k.chain_len() >= DEEP, "chain has {} records", k.chain_len());
+    assert!(k.retained_slots() >= 4 * DEEP);
+    drop(stack);
+    drop(k);
+}
+
+/// The heap strategy links one frame per call through dynamic links; a
+/// deep non-tail recursion is a 100k-frame linked list. Dropping the
+/// machine (and a capture sharing the spine) must not recurse.
+#[test]
+fn heap_frame_chain_tears_down_iteratively() {
+    let code = Rc::new(TestCode::new());
+    let ra = code.ret_point(4);
+    let mut stack = Strategy::Heap.build::<TestSlot>(tiny_cfg(), code.clone()).unwrap();
+    for _ in 0..DEEP {
+        stack.call(4, ra, 0, true).unwrap();
+    }
+    assert_eq!(stack.metrics().heap_frames_allocated, DEEP as u64);
+    let k = stack.capture();
+    drop(stack);
+    drop(k);
+}

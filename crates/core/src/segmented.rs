@@ -82,12 +82,47 @@ impl<S: StackSlot> KontRepr<S> for SegKont<S> {
     }
 
     fn retained_slots(&self) -> usize {
-        let s = self.0.borrow();
-        s.size + s.link.as_ref().map_or(0, Continuation::retained_slots)
+        // Iterative: record chains grow one record per overflow, so a deep
+        // recursion can leave hundreds of thousands of links — recursing
+        // here would overflow the native stack this crate exists to avoid.
+        let mut total = 0;
+        let mut link = {
+            let s = self.0.borrow();
+            total += s.size;
+            s.link.clone()
+        };
+        while let Some(k) = link {
+            match k.repr().as_any().downcast_ref::<SegKont<S>>() {
+                Some(sk) => {
+                    let s = sk.0.borrow();
+                    total += s.size;
+                    link = s.link.clone();
+                }
+                None => {
+                    total += k.retained_slots();
+                    break;
+                }
+            }
+        }
+        total
     }
 
     fn chain_len(&self) -> usize {
-        1 + self.0.borrow().link.as_ref().map_or(0, Continuation::chain_len)
+        let mut n = 1;
+        let mut link = self.0.borrow().link.clone();
+        while let Some(k) = link {
+            match k.repr().as_any().downcast_ref::<SegKont<S>>() {
+                Some(sk) => {
+                    n += 1;
+                    link = sk.0.borrow().link.clone();
+                }
+                None => {
+                    n += k.chain_len();
+                    break;
+                }
+            }
+        }
+        n
     }
 
     fn strategy(&self) -> &'static str {
@@ -254,6 +289,160 @@ impl<S: StackSlot> SegmentedStack<S> {
         s.link = Some(Continuation::from_repr(Rc::new(SegKont(RefCell::new(bottom)))));
         self.metrics.splits += 1;
         self.metrics.stack_records_allocated += 1;
+    }
+
+    /// Audits the paper-level structural invariants of the whole machine
+    /// state: pointer ordering, the overflow reserve (Figure 8 — at least
+    /// one frame bound of the reserve survives even an unchecked call),
+    /// frame well-formedness of the live region, agreement between the
+    /// segment's base word and its link field, and well-formedness of every
+    /// sealed record reachable through the link chain.
+    ///
+    /// Unlike the [`walker`](crate::walker) helpers this never panics on
+    /// corrupt state; it returns a description of the first violation
+    /// found. The fuzz harness calls it after every operation. The cost is
+    /// linear in the total retained stack, so it is a debugging aid, not a
+    /// production check.
+    pub fn audit_invariants(&self) -> Result<(), String> {
+        let bound = self.cfg.frame_bound();
+        {
+            let buf = self.buf.borrow();
+            if !(self.base <= self.fp && self.fp <= self.end && self.end <= buf.len()) {
+                return Err(format!(
+                    "pointer order violated: base={} fp={} end={} buf={}",
+                    self.base,
+                    self.fp,
+                    self.end,
+                    buf.len()
+                ));
+            }
+            if self.fp + bound > self.end {
+                return Err(format!(
+                    "overflow reserve exhausted: fp={} + frame_bound={} > end={}",
+                    self.fp, bound, self.end
+                ));
+            }
+            audit_frames(&buf, self.base, self.fp, &*self.code, bound)
+                .map_err(|e| format!("live segment: {e}"))?;
+            audit_base_word(&buf, self.base, self.link.is_some(), self.cfg.tail_capture_rule())
+                .map_err(|e| format!("live segment: {e}"))?;
+        }
+        let mut link = self.link.clone();
+        let mut depth: usize = 0;
+        while let Some(k) = link {
+            depth += 1;
+            let Some(sk) = k.repr().as_any().downcast_ref::<SegKont<S>>() else {
+                return Err(format!(
+                    "record {depth}: foreign strategy {} in the chain",
+                    k.strategy()
+                ));
+            };
+            let next = {
+                let s = sk.0.borrow();
+                let sbuf = s.buf.borrow();
+                if s.base + s.size > sbuf.len() {
+                    return Err(format!(
+                        "record {depth} overruns its buffer: base={} size={} buf={}",
+                        s.base,
+                        s.size,
+                        sbuf.len()
+                    ));
+                }
+                if s.size == 0 {
+                    if self.cfg.tail_capture_rule() {
+                        return Err(format!(
+                            "record {depth} is empty but the tail-capture rule is active"
+                        ));
+                    }
+                } else {
+                    let top = s.base + s.size;
+                    let d = self.code.displacement(s.ra);
+                    if d == 0 || d > bound {
+                        return Err(format!(
+                            "record {depth}: topmost displacement {d} outside bound {bound}"
+                        ));
+                    }
+                    if d > s.size {
+                        return Err(format!(
+                            "record {depth}: topmost displacement {d} underruns size {}",
+                            s.size
+                        ));
+                    }
+                    audit_frames(&sbuf, s.base, top - d, &*self.code, bound)
+                        .map_err(|e| format!("record {depth}: {e}"))?;
+                    audit_base_word(&sbuf, s.base, s.link.is_some(), self.cfg.tail_capture_rule())
+                        .map_err(|e| format!("record {depth}: {e}"))?;
+                }
+                s.link.clone()
+            };
+            link = next;
+        }
+        Ok(())
+    }
+}
+
+/// Non-panicking frame walk from the frame base at `fp` down to `base`:
+/// every boundary must hold a return address, code displacements must be
+/// nonzero, within the frame bound, and must not underrun `base`, and the
+/// underflow/exit word may appear only exactly at `base`.
+fn audit_frames<S: StackSlot>(
+    buf: &[S],
+    base: usize,
+    fp: usize,
+    code: &dyn FrameSizeTable,
+    bound: usize,
+) -> Result<(), String> {
+    let mut pos = fp;
+    loop {
+        match buf[pos].as_return_address() {
+            Some(ReturnAddress::Code(r)) => {
+                if pos == base {
+                    return Err(format!("code return address {r} at the segment base {base}"));
+                }
+                let d = code.displacement(r);
+                if d == 0 || d > bound {
+                    return Err(format!("frame at {pos}: displacement {d} outside bound {bound}"));
+                }
+                if d > pos - base {
+                    return Err(format!("frame at {pos}: displacement {d} underruns base {base}"));
+                }
+                pos -= d;
+            }
+            Some(ReturnAddress::Underflow | ReturnAddress::Exit) => {
+                if pos != base {
+                    return Err(format!("underflow/exit word above the base at {pos}"));
+                }
+                return Ok(());
+            }
+            None => return Err(format!("frame base at {pos} does not hold a return address")),
+        }
+    }
+}
+
+/// The base word and the link field must agree: an underflow handler means
+/// a record is linked below; the exit routine means the chain ends (the
+/// tail-capture ablation legitimately parks empty linked records above an
+/// exit word, so that direction is only checked when the rule is active).
+fn audit_base_word<S: StackSlot>(
+    buf: &[S],
+    base: usize,
+    linked: bool,
+    tail_rule: bool,
+) -> Result<(), String> {
+    match buf[base].as_return_address() {
+        Some(ReturnAddress::Underflow) => {
+            if !linked {
+                return Err("underflow handler at the base with no linked record".into());
+            }
+            Ok(())
+        }
+        Some(ReturnAddress::Exit) => {
+            if tail_rule && linked {
+                return Err("exit routine at the base but a record is linked".into());
+            }
+            Ok(())
+        }
+        other => Err(format!("base holds {other:?}, not the underflow handler or exit")),
     }
 }
 
@@ -919,6 +1108,51 @@ mod tests {
         assert_eq!(st.chain_records, 1);
         assert_eq!(st.chain_slots, 8);
         assert_eq!(st.current_used_slots, 0);
+    }
+
+    #[test]
+    fn audit_passes_through_overflow_capture_and_reinstate() {
+        let (code, mut stack) = setup(small_cfg());
+        stack.audit_invariants().unwrap();
+        let mut konts = Vec::new();
+        for i in 0..120 {
+            call1(&mut stack, &code, 8, i, true);
+            stack.audit_invariants().unwrap();
+            if i % 17 == 0 {
+                konts.push(stack.capture());
+                stack.audit_invariants().unwrap();
+            }
+        }
+        for k in &konts {
+            stack.reinstate(k).unwrap();
+            stack.audit_invariants().unwrap();
+        }
+        while stack.ret().unwrap() != ReturnAddress::Exit {
+            stack.audit_invariants().unwrap();
+        }
+        stack.audit_invariants().unwrap();
+    }
+
+    #[test]
+    fn audit_flags_a_clobbered_frame_base() {
+        let (code, mut stack) = setup(small_cfg());
+        call1(&mut stack, &code, 4, 1, true);
+        call1(&mut stack, &code, 4, 2, true);
+        // Smash the caller's return-address word with data.
+        stack.set(0, TestSlot::Int(99));
+        let err = stack.audit_invariants().unwrap_err();
+        assert!(err.contains("does not hold a return address"), "{err}");
+    }
+
+    #[test]
+    fn audit_flags_a_forged_underflow_word() {
+        let (code, mut stack) = setup(small_cfg());
+        call1(&mut stack, &code, 4, 1, true);
+        call1(&mut stack, &code, 4, 2, true);
+        // An underflow handler strictly above the base is corruption.
+        stack.set(0, TestSlot::Ra(ReturnAddress::Underflow));
+        let err = stack.audit_invariants().unwrap_err();
+        assert!(err.contains("underflow"), "{err}");
     }
 
     #[test]

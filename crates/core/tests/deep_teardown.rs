@@ -1,0 +1,76 @@
+//! Deep-chain teardown: record chains with 100k+ links must be
+//! measurable and droppable without native-stack recursion.
+//!
+//! Continuation records link to continuation records, so a naive
+//! recursive `Drop` (or a recursive chain accessor) consumes native
+//! stack proportional to the chain length — ironic for a crate whose
+//! subject is bounded control-stack usage. These tests build chains far
+//! past any plausible recursion budget and exercise the iterative
+//! accessors ([`Continuation::chain_len`], `retained_slots`, `stats`)
+//! plus the [`defer_drop`](segstack_core::defer_drop)-based teardown.
+
+use segstack_core::{Config, ControlStack, ReturnAddress, SegmentedStack, TestCode, TestSlot};
+use std::rc::Rc;
+
+/// Deep enough that a recursive walk or drop would overflow the native
+/// stack long before completing.
+const DEEP: usize = 120_000;
+
+/// The §4 ablation (tail-capture rule disabled) chains one empty record
+/// per capture at the segment base — the paper's "the control stack
+/// would grow progressively longer" failure mode. The chain must still
+/// measure and tear down iteratively.
+#[test]
+fn ablation_capture_chain_tears_down_iteratively() {
+    let cfg = Config::builder()
+        .segment_slots(96)
+        .frame_bound(8)
+        .copy_bound(16)
+        .disable_tail_capture_rule()
+        .build()
+        .unwrap();
+    let code = Rc::new(TestCode::new());
+    let mut stack = SegmentedStack::<TestSlot>::new(cfg, code).unwrap();
+    let mut last = None;
+    for _ in 0..DEEP {
+        last = Some(stack.capture());
+    }
+    let k = last.unwrap();
+    assert_eq!(k.chain_len(), DEEP);
+    assert_eq!(k.retained_slots(), 0, "every ablation record is empty");
+    let stats = stack.stats();
+    assert_eq!(stats.chain_records, DEEP);
+    assert_eq!(stats.chain_slots, 0);
+    // Freeing the machine and the handle walks the whole chain; only the
+    // deferred-drop queue keeps this off the native stack.
+    drop(stack);
+    drop(k);
+}
+
+/// Overflow-driven chains: with the smallest legal segment every other
+/// call seals a record, so a long computation strings 100k+ real
+/// (non-empty) records together. Unwinding consumes part of the chain
+/// through the underflow path; dropping frees the rest.
+#[test]
+fn overflow_record_chain_tears_down_iteratively() {
+    let cfg = Config::builder().segment_slots(12).frame_bound(4).copy_bound(4).build().unwrap();
+    let code = Rc::new(TestCode::new());
+    let ra = code.ret_point(4);
+    let mut stack = SegmentedStack::<TestSlot>::new(cfg, code.clone()).unwrap();
+    while (stack.metrics().overflows as usize) < DEEP {
+        stack.call(4, ra, 0, true).unwrap();
+    }
+    let k = stack.capture();
+    assert!(k.chain_len() >= DEEP, "chain has {} records", k.chain_len());
+    assert!(k.retained_slots() >= 4 * DEEP, "records retain their frames");
+    assert!(stack.stats().chain_records >= DEEP);
+    // Return across a few thousand record boundaries: each underflow
+    // consumes one record (an implicit reinstatement), iteratively.
+    let underflows_before = stack.metrics().underflows;
+    for _ in 0..5_000 {
+        assert_ne!(stack.ret().unwrap(), ReturnAddress::Exit, "unwound too far");
+    }
+    assert!(stack.metrics().underflows > underflows_before);
+    drop(stack);
+    drop(k);
+}

@@ -107,6 +107,111 @@ fn split_point_invariants() {
     }
 }
 
+/// Sealing a segment at a frame boundary — what capture does in place —
+/// leaves both halves independently walkable. The suffix walks from the
+/// boundary, the prefix walks with the displaced return address the
+/// boundary word used to hold, and together they tile the unsplit layout
+/// exactly.
+#[test]
+fn manual_split_leaves_both_halves_walkable() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut sizes = arb_sizes(&mut rng);
+        if sizes.len() < 2 {
+            sizes.push(rng.gen_range(2, 20) as usize);
+        }
+        let code = TestCode::new();
+        let (mut buf, top, ra) = build(&code, &sizes);
+        let full: Vec<(usize, usize)> =
+            walker::frames(&buf, 0, top, ra, &code).iter().map(|f| (f.base, f.top)).collect();
+        // Pick a random interior frame boundary and seal it: the suffix's
+        // bottom word becomes the underflow handler, and the return
+        // address it displaced would move into the sealed record's `ra`.
+        let cut = rng.gen_range(1, sizes.len() as u64) as usize;
+        let split: usize = sizes[..cut].iter().sum();
+        let TestSlot::Ra(ReturnAddress::Code(displaced)) = buf[split] else {
+            panic!("seed {seed}: frame boundary at {split} does not hold a code address");
+        };
+        buf[split] = TestSlot::Ra(ReturnAddress::Underflow);
+        let upper = walker::frames(&buf, split, top, ra, &code);
+        let lower = walker::frames(&buf, 0, split, displaced, &code);
+        assert_eq!(upper.len(), sizes.len() - cut, "seed {seed}");
+        assert_eq!(lower.len(), cut, "seed {seed}");
+        // The deepest suffix frame bottoms out on the underflow handler.
+        assert_eq!(upper.last().unwrap().base, split, "seed {seed}");
+        assert!(
+            matches!(buf[split], TestSlot::Ra(ReturnAddress::Underflow)),
+            "seed {seed}: the split base must hold the underflow handler"
+        );
+        // Joined top-down, the halves tile the original walk exactly.
+        let joined: Vec<(usize, usize)> =
+            upper.iter().chain(lower.iter()).map(|f| (f.base, f.top)).collect();
+        assert_eq!(joined, full, "seed {seed}");
+    }
+}
+
+/// Frame displacement recovery straddling live splits: with the smallest
+/// legal segment, calls overflow constantly and captures seal mid-spine,
+/// so returns repeatedly cross split boundaries where the displaced
+/// return address lives in a sealed record behind an underflow handler.
+/// The visible spine (backtrace), the unwind order, and the paper
+/// invariants must all survive every crossing.
+#[test]
+fn displacement_recovery_across_split_boundaries() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let depth = rng.gen_range(4, 48) as usize;
+        let d = rng.gen_range(2, 8) as usize;
+        let fb = 8usize;
+        let cfg = Config::builder()
+            .segment_slots(3 * fb) // smallest legal: nearly every call splits
+            .frame_bound(fb)
+            .copy_bound(rng.gen_range(1, 2 * fb as u64 + 1) as usize)
+            .build()
+            .unwrap();
+        let code = Rc::new(TestCode::new());
+        let mut stack = SegmentedStack::<TestSlot>::new(cfg, code.clone()).unwrap();
+        let audit = |stack: &SegmentedStack<TestSlot>, seed: u64, at: &str| {
+            if let Err(e) = stack.audit_invariants() {
+                panic!("seed {seed}: invariant broken {at}: {e}");
+            }
+        };
+        let mut ras = Vec::new();
+        for i in 0..depth {
+            let ra = code.ret_point(d);
+            stack.set(d + 1, TestSlot::Int(i as i64));
+            stack.call(d, ra, 1, true).unwrap();
+            ras.push(ra);
+            audit(&stack, seed, "after call");
+        }
+        assert!(stack.metrics().overflows > 0, "seed {seed}: no split was exercised");
+        // The backtrace sees through every split: the full spine, newest
+        // first, exactly as if the stack were contiguous.
+        let spine: Vec<_> = ras.iter().rev().copied().collect();
+        assert_eq!(stack.backtrace(depth + 4), spine, "seed {seed}");
+        let k = stack.capture();
+        audit(&stack, seed, "after capture");
+        // Unwind across every boundary: each return recovers the
+        // displaced address, even when it straddles a sealed record.
+        for i in (0..depth).rev() {
+            assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ras[i]), "seed {seed}");
+            audit(&stack, seed, "after ret");
+            if i > 0 {
+                assert_eq!(stack.get(1), TestSlot::Int(i as i64 - 1), "seed {seed}");
+            }
+        }
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit, "seed {seed}");
+        // Reinstating restores the captured spine, splits and all. The
+        // capture excluded the live frame, whose address comes back as
+        // the resume target instead of staying on the stack — so the
+        // visible spine is everything below it.
+        let resumed = stack.reinstate(&k).unwrap();
+        assert_eq!(resumed, ReturnAddress::Code(ras[depth - 1]), "seed {seed}");
+        audit(&stack, seed, "after reinstate");
+        assert_eq!(stack.backtrace(depth + 4), &spine[1..], "seed {seed}");
+    }
+}
+
 /// Random capture/reinstate round trips preserve the full unwind
 /// sequence regardless of segment size and copy bound.
 #[test]

@@ -1,0 +1,151 @@
+//! Invariant-audit mode: replays a trace on the concrete
+//! [`SegmentedStack`] and checks the paper-level properties after every
+//! single operation.
+//!
+//! Structural well-formedness (record shapes, the two-frame overflow
+//! reserve, base-word/link agreement) is delegated to
+//! [`SegmentedStack::audit_invariants`]; this module adds the *cost*
+//! properties, checked as per-op metric deltas:
+//!
+//! * capture copies zero slots and grows the record chain by at most one
+//!   record — and by **zero** records in tail position (`fp == base`), the
+//!   §4 `looper` rule;
+//! * reinstatement (explicit, or implicit through underflow) copies at
+//!   most `max(copy_bound, frame_bound)` slots (Figures 6–7);
+//! * an overflowing call copies only the staged arguments (§5);
+//! * everything else copies nothing.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use segstack_core::{ControlStack, SegmentedStack, TestSlot};
+
+use crate::driver::{apply_op, drain, CompiledTrace};
+use crate::trace::{Op, TraceSpec};
+
+/// Replays the trace on a segmented stack, auditing after every op.
+pub fn run_audited(spec: &TraceSpec, compiled: &CompiledTrace) -> Result<(), String> {
+    let at_op = Cell::new(usize::MAX);
+    let outcome = catch_unwind(AssertUnwindSafe(|| audit_loop(spec, compiled, &at_op)));
+    match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            let msg = e
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| e.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(match at_op.get() {
+                usize::MAX => format!("audit: panicked during setup: {msg}"),
+                i => format!("audit: panicked at op [{i}]: {msg}"),
+            })
+        }
+    }
+}
+
+fn audit_loop(
+    spec: &TraceSpec,
+    compiled: &CompiledTrace,
+    at_op: &Cell<usize>,
+) -> Result<(), String> {
+    let mut stack = SegmentedStack::<TestSlot>::new(spec.config(), compiled.code.clone())
+        .map_err(|e| format!("audit: cannot build segmented stack: {e}"))?;
+    let reinstate_bound = spec.copy_bound.max(spec.frame_bound) as u64;
+    let mut saved = Vec::new();
+    let mut captures = 0usize;
+    stack.audit_invariants().map_err(|e| format!("audit: initial state: {e}"))?;
+    for (i, op) in spec.ops.iter().enumerate() {
+        at_op.set(i);
+        let fail = |what: String| Err(format!("audit: op [{i}] {op:?}: {what}"));
+        let before = stack.metrics().clone();
+        let (fp_before, base_before) = (stack.fp(), stack.segment_base());
+        let chain_before = stack.stats().chain_records;
+        apply_op(&mut stack, op, compiled.ras[i], &mut saved, &mut captures);
+        stack.audit_invariants().or_else(&fail)?;
+        let m = stack.metrics();
+        let copied = m.slots_copied - before.slots_copied;
+        let underflows = m.underflows - before.underflows;
+        match op {
+            Op::Capture => {
+                if copied != 0 {
+                    return fail(format!("capture copied {copied} slots; must copy none"));
+                }
+                let chain_after = stack.stats().chain_records;
+                if fp_before == base_before {
+                    // Tail position: the link itself is the continuation —
+                    // the chain must not grow and the machine not move.
+                    if chain_after != chain_before {
+                        return fail(format!(
+                            "tail capture grew the chain {chain_before} -> {chain_after}"
+                        ));
+                    }
+                    if stack.fp() != fp_before || stack.segment_base() != base_before {
+                        return fail("tail capture moved the frame pointer".into());
+                    }
+                } else if chain_after != chain_before + 1 {
+                    return fail(format!(
+                        "capture changed the chain {chain_before} -> {chain_after}; \
+                         must add exactly one record"
+                    ));
+                }
+            }
+            Op::Reinstate { .. } => {
+                if copied > reinstate_bound {
+                    return fail(format!(
+                        "reinstate copied {copied} slots; bound is {reinstate_bound}"
+                    ));
+                }
+            }
+            Op::Ret => {
+                if underflows > 0 && copied > reinstate_bound {
+                    return fail(format!(
+                        "underflow reinstatement copied {copied} slots; bound is {reinstate_bound}"
+                    ));
+                }
+                if underflows == 0 && copied != 0 {
+                    return fail(format!("plain return copied {copied} slots"));
+                }
+            }
+            Op::Call { nargs, .. } => {
+                let overflowed = m.overflows - before.overflows;
+                if overflowed > 0 && copied != *nargs as u64 {
+                    return fail(format!(
+                        "overflow moved {copied} slots; only the {nargs} staged args may move"
+                    ));
+                }
+                if overflowed == 0 && copied != 0 {
+                    return fail(format!("non-overflowing call copied {copied} slots"));
+                }
+            }
+            Op::LeafCall { .. } => {
+                if m.checks_elided != before.checks_elided + 1 {
+                    return fail("leaf call did not elide its check".into());
+                }
+                if copied != 0 {
+                    return fail(format!("leaf call copied {copied} slots"));
+                }
+            }
+            Op::TailCall { .. } | Op::Set { .. } | Op::Get { .. } | Op::Backtrace { .. } => {
+                if copied != 0 {
+                    return fail(format!("{op:?} copied {copied} slots"));
+                }
+            }
+        }
+    }
+    at_op.set(usize::MAX);
+    // Drain with the reserve/record invariants still holding at each step.
+    let before = stack.metrics().clone();
+    drain(&mut stack);
+    stack.audit_invariants().map_err(|e| format!("audit: after drain: {e}"))?;
+    let m = stack.metrics();
+    let underflows = m.underflows - before.underflows;
+    let copied = m.slots_copied - before.slots_copied;
+    if copied > underflows * (spec.copy_bound.max(spec.frame_bound) as u64) {
+        return Err(format!(
+            "audit: drain copied {copied} slots over {underflows} underflows; \
+             each is bounded by {}",
+            spec.copy_bound.max(spec.frame_bound)
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,158 @@
+//! Command-line entry point for the fuzzer.
+//!
+//! ```text
+//! segstack-fuzz [--seed N] [--traces M] [--start S] [--ops K]
+//!               [--scheme M] [--serve M] [--quiet]
+//! ```
+//!
+//! * `--seed N` replays the single trace generated from seed `N` (with
+//!   invariant audits) and prints it with the verdict.
+//! * `--traces M` fuzzes seeds `S..S+M`; on the first failure the trace is
+//!   shrunk and printed together with its replay command, and the process
+//!   exits nonzero.
+//! * `--scheme M` / `--serve M` run Scheme-level and serve-level
+//!   differential rounds for seeds `S..S+M`.
+//!
+//! With no mode flag at all, a default campaign runs: 1000 traces, 8
+//! Scheme rounds, 2 serve rounds.
+
+use std::process::ExitCode;
+
+use segstack_fuzz::progs::differential_round;
+use segstack_fuzz::serve_fuzz::serve_round;
+use segstack_fuzz::{fuzz_trace, shrink, TraceSpec};
+
+struct Args {
+    seed: Option<u64>,
+    traces: Option<u64>,
+    start: u64,
+    ops: usize,
+    scheme: Option<u64>,
+    serve: Option<u64>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: None,
+        traces: None,
+        start: 0,
+        ops: 64,
+        scheme: None,
+        serve: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} needs a value"))
+                .and_then(|v| v.parse::<u64>().map_err(|_| format!("{what}: not a number: {v}")))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = Some(value("--seed")?),
+            "--traces" => args.traces = Some(value("--traces")?),
+            "--start" => args.start = value("--start")?,
+            "--ops" => args.ops = value("--ops")? as usize,
+            "--scheme" => args.scheme = Some(value("--scheme")?),
+            "--serve" => args.serve = Some(value("--serve")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: segstack-fuzz [--seed N] [--traces M] [--start S] [--ops K] \
+                     [--scheme M] [--serve M] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Suppresses panic backtrace spew while intentionally failing candidate
+/// traces run under `catch_unwind` during shrinking.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+fn report_failure(spec: &TraceSpec, ops: usize, err: &str) {
+    eprintln!("FAIL seed {}: {err}", spec.seed);
+    let small = with_quiet_panics(|| shrink(spec, &|t| fuzz_trace(t).is_err()));
+    let small_err = with_quiet_panics(|| fuzz_trace(&small).unwrap_err());
+    eprintln!("shrunk to {} ops ({small_err}):", small.ops.len());
+    eprintln!("{small}");
+    eprintln!("replay: cargo run -p segstack-fuzz -- --seed {} --ops {ops}", spec.seed);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("segstack-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(seed) = args.seed {
+        let spec = TraceSpec::generate(seed, args.ops);
+        println!("{spec}");
+        return match with_quiet_panics(|| fuzz_trace(&spec)) {
+            Ok(()) => {
+                println!("seed {seed}: ok (all strategies agree, audits clean)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                report_failure(&spec, args.ops, &e);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Default campaign when no mode flag was given.
+    let no_mode = args.traces.is_none() && args.scheme.is_none() && args.serve.is_none();
+    let traces = args.traces.unwrap_or(if no_mode { 1000 } else { 0 });
+    let scheme = args.scheme.unwrap_or(if no_mode { 8 } else { 0 });
+    let serve = args.serve.unwrap_or(if no_mode { 2 } else { 0 });
+
+    for seed in args.start..args.start + traces {
+        let spec = TraceSpec::generate(seed, args.ops);
+        if let Err(e) = with_quiet_panics(|| fuzz_trace(&spec)) {
+            report_failure(&spec, args.ops, &e);
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet && seed.wrapping_sub(args.start) % 1000 == 999 {
+            println!("... {} traces clean", seed - args.start + 1);
+        }
+    }
+    if traces > 0 {
+        println!("traces: {traces} clean (seeds {}..{})", args.start, args.start + traces);
+    }
+
+    for seed in args.start..args.start + scheme {
+        if let Err(e) = differential_round(seed) {
+            eprintln!("FAIL {e}");
+            eprintln!("replay: cargo run -p segstack-fuzz -- --scheme 1 --start {seed}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if scheme > 0 {
+        println!("scheme rounds: {scheme} clean");
+    }
+
+    for seed in args.start..args.start + serve {
+        if let Err(e) = serve_round(seed) {
+            eprintln!("FAIL {e}");
+            eprintln!("replay: cargo run -p segstack-fuzz -- --serve 1 --start {seed}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if serve > 0 {
+        println!("serve rounds: {serve} clean");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! Differential fuzzing through the `serve` runtime: the same generated
+//! program is submitted once per strategy as a fuel-budgeted job, and all
+//! six outcomes must agree — result string *and* tick count (fuel ticks
+//! count procedure calls, so the accounting is strategy-independent even
+//! though wall-clock preemption interleaves the jobs arbitrarily).
+
+use segstack_baselines::Strategy;
+use segstack_serve::{JobError, Request, Runtime, RuntimeConfig};
+
+use crate::progs::{gen_driven_program, gen_program};
+
+/// One serve-level differential round for `seed`. The runtime runs two
+/// workers with a small quantum, so jobs genuinely preempt mid-program.
+pub fn serve_round(seed: u64) -> Result<(), String> {
+    // Alternate shallow and driven programs across seeds.
+    let program =
+        if seed.is_multiple_of(2) { gen_program(seed, 4) } else { gen_driven_program(seed, 3) };
+    let rt =
+        Runtime::start(RuntimeConfig::with_workers(2).quantum(200).max_inflight(4).queue_depth(16));
+    let handles: Vec<_> = Strategy::ALL
+        .iter()
+        .map(|&s| {
+            let req = Request::new(program.clone()).strategy(s).fuel(50_000_000);
+            (s, rt.submit(req).expect("queue_depth covers all six jobs"))
+        })
+        .collect();
+    let outcomes: Vec<_> = handles
+        .into_iter()
+        .map(|(s, h)| {
+            let o = h.wait();
+            let r = o.result.map_err(|e: JobError| e.to_string());
+            (s, r, o.ticks)
+        })
+        .collect();
+    rt.shutdown();
+    let (_, ref_result, ref_ticks) = &outcomes[0];
+    for (s, r, ticks) in &outcomes[1..] {
+        if r != ref_result {
+            return Err(format!(
+                "serve seed {seed}: strategy {s} returned {r:?}, \
+                 segmented returned {ref_result:?}\non:\n{program}"
+            ));
+        }
+        if ticks != ref_ticks {
+            return Err(format!(
+                "serve seed {seed}: strategy {s} spent {ticks} fuel ticks, \
+                 segmented spent {ref_ticks}\non:\n{program}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_rounds_agree() {
+        for seed in 0..2 {
+            serve_round(seed).unwrap();
+        }
+    }
+}

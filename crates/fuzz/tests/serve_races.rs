@@ -1,0 +1,111 @@
+//! Shutdown and cancel races under in-flight fuzz jobs.
+//!
+//! The evaluation runtime must resolve *every* handle — no hangs, no
+//! lost outcomes — even when cancels race a graceful shutdown from
+//! another thread, and even when the runtime is dropped (abort path)
+//! with divergent fuzz jobs mid-quantum.
+
+use segstack_baselines::Strategy;
+use segstack_fuzz::progs::gen_program;
+use segstack_serve::{JobError, Request, Runtime, RuntimeConfig};
+use std::thread;
+
+const DIVERGE: &str = "(let loop () (loop))";
+
+/// Graceful shutdown racing a cancel thread: a mixed batch of generated
+/// fuzz programs and fuel-capped divergent jobs is in flight; a second
+/// thread cancels and waits on a third of the handles while the main
+/// thread shuts down under load. Every wait must resolve.
+#[test]
+fn shutdown_races_concurrent_cancels_without_losing_handles() {
+    let rt =
+        Runtime::start(RuntimeConfig::with_workers(3).quantum(50).max_inflight(4).queue_depth(64));
+    let mut to_cancel = Vec::new();
+    let mut to_keep = Vec::new();
+    for seed in 0..18u64 {
+        let strategy = Strategy::ALL[(seed % 6) as usize];
+        let (src, fuel) = if seed % 6 == 5 {
+            (DIVERGE.to_string(), 200_000)
+        } else {
+            (gen_program(seed, 4), 50_000_000)
+        };
+        let handle = rt.submit(Request::new(src).strategy(strategy).fuel(fuel)).unwrap();
+        if seed % 3 == 0 {
+            to_cancel.push(handle);
+        } else {
+            to_keep.push(handle);
+        }
+    }
+    let canceller = thread::spawn(move || {
+        to_cancel
+            .into_iter()
+            .map(|h| {
+                h.cancel();
+                h.wait().result
+            })
+            .collect::<Vec<_>>()
+    });
+    // Shut down only once the pool is actually working, so the drain
+    // races real in-flight jobs rather than an idle queue.
+    while rt.metrics().total().admitted == 0 {
+        thread::yield_now();
+    }
+    let snap = rt.shutdown();
+    assert_eq!(snap.queued, 0, "graceful shutdown drained the queue");
+    let cancelled = canceller.join().expect("cancel thread never hangs");
+    assert_eq!(cancelled.len(), 6);
+    for r in &cancelled {
+        // A cancelled job either lost the race (it already finished, or
+        // tripped its own fuel/eval outcome first) or reports Cancelled;
+        // it must never be Lost by a *graceful* shutdown.
+        assert_ne!(r, &Err(JobError::Lost), "graceful drain lost a cancelled job");
+    }
+    for h in to_keep {
+        let o = h.wait();
+        assert_ne!(o.result, Err(JobError::Lost), "graceful drain lost job {}", o.id);
+    }
+    let total = snap.total();
+    assert_eq!(
+        total.admitted,
+        total.finished(),
+        "every admitted job resolved to exactly one outcome"
+    );
+}
+
+/// Abort path: dropping the runtime (no shutdown call) with uncapped
+/// divergent jobs in flight must cancel them at the next preemption
+/// point and still resolve every handle.
+#[test]
+fn drop_abort_resolves_inflight_divergent_fuzz_jobs() {
+    let rt =
+        Runtime::start(RuntimeConfig::with_workers(2).quantum(25).max_inflight(2).queue_depth(16));
+    let mut divergent = Vec::new();
+    let mut finite = Vec::new();
+    for seed in 0..6u64 {
+        let strategy = Strategy::ALL[(seed % 6) as usize];
+        if seed % 2 == 0 {
+            divergent.push(rt.submit(Request::new(DIVERGE).strategy(strategy)).unwrap());
+        } else {
+            let src = gen_program(seed, 3);
+            finite.push(rt.submit(Request::new(src).strategy(strategy).fuel(50_000_000)).unwrap());
+        }
+    }
+    while rt.metrics().total().admitted == 0 {
+        thread::yield_now();
+    }
+    drop(rt);
+    for h in divergent {
+        let o = h.wait();
+        assert!(
+            matches!(o.result, Err(JobError::Cancelled | JobError::Lost)),
+            "divergent job {} survived the abort: {:?}",
+            o.id,
+            o.result
+        );
+    }
+    for h in finite {
+        // Finite jobs either finished before the abort or were cancelled
+        // with everything else — but the handle always resolves.
+        let _ = h.wait();
+    }
+}

@@ -1,49 +1,30 @@
-//! Differential testing: the five control-stack strategies must be
+//! Differential testing: the six control-stack strategies must be
 //! observationally identical.
 //!
 //! The assignment-conversion invariant (frame slots are single-assignment
 //! per activation) is exactly what makes frame *sharing* (heap, hybrid)
 //! equivalent to frame *copying* (copy, cache, segmented). These tests
-//! check that equivalence on a fixed corpus and on randomly generated
-//! programs.
+//! check that equivalence on a fixed corpus, and delegate the generative
+//! side to the shared `segstack-fuzz` generators: trace-level sequences
+//! against the vector-of-frames oracle, and program-level `call/cc`-heavy
+//! expressions through full engines. Failing seeds from fuzz campaigns
+//! get checked in as named `tests/programs/fuzz_*.scm` regressions.
 
 use segstack::baselines::Strategy;
-use segstack::core::rng::SplitMix64;
 use segstack::core::Config;
 use segstack::scheme::{CheckPolicy, Engine};
-
-/// Evaluates `src` under a strategy, returning printed value or error text.
-fn run_on(strategy: Strategy, cfg: &Config, src: &str) -> Result<String, String> {
-    let mut e = Engine::builder()
-        .strategy(strategy)
-        .config(cfg.clone())
-        .max_steps(50_000_000)
-        .build()
-        .map_err(|e| e.to_string())?;
-    let v = e.eval(src).map_err(|e| e.to_string())?;
-    let out = e.take_output();
-    Ok(format!("{out}|{v}"))
-}
+use segstack_fuzz::progs::{agree_on, gen_driven_program, gen_program, run_on, stressed_cfg};
+use segstack_fuzz::{fuzz_trace, TraceSpec};
 
 #[track_caller]
 fn agree(cfg: &Config, src: &str) {
-    let reference = run_on(Strategy::Segmented, cfg, src);
-    for s in
-        [Strategy::Heap, Strategy::Copy, Strategy::Cache, Strategy::Hybrid, Strategy::Incremental]
-    {
-        let got = run_on(s, cfg, src);
-        assert_eq!(got, reference, "strategy {s} diverges on:\n{src}");
+    if let Err(e) = agree_on(cfg, src) {
+        panic!("{e}");
     }
 }
 
 fn default_cfg() -> Config {
     Config::default()
-}
-
-/// A stressed configuration: small segments force frequent overflow,
-/// a tiny copy bound forces splitting on nearly every reinstatement.
-fn stressed_cfg() -> Config {
-    Config::builder().segment_slots(256).frame_bound(48).copy_bound(16).build().unwrap()
 }
 
 const CORPUS: &[(&str, &str)] = &[
@@ -61,6 +42,10 @@ const CORPUS: &[(&str, &str)] = &[
     ("queens", include_str!("programs/queens.scm")),
     ("generators", include_str!("programs/generators.scm")),
     ("boyer", include_str!("programs/boyer.scm")),
+    // Named regressions minted by the fuzzer's program generator.
+    ("fuzz-escape", include_str!("programs/fuzz_escape.scm")),
+    ("fuzz-branchy", include_str!("programs/fuzz_branchy.scm")),
+    ("fuzz-nested-k", include_str!("programs/fuzz_nested_k.scm")),
     ("deep-sum", "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 30000)"),
     (
         "ackermann",
@@ -108,16 +93,8 @@ const CORPUS: &[(&str, &str)] = &[
 #[test]
 fn corpus_agrees_on_default_config() {
     for (name, src) in CORPUS {
-        let cfg = default_cfg();
-        let reference = run_on(Strategy::Segmented, &cfg, src);
-        for s in [
-            Strategy::Heap,
-            Strategy::Copy,
-            Strategy::Cache,
-            Strategy::Hybrid,
-            Strategy::Incremental,
-        ] {
-            assert_eq!(run_on(s, &cfg, src), reference, "{name} diverges under {s}");
+        if let Err(e) = agree_on(&default_cfg(), src) {
+            panic!("{name}: {e}");
         }
     }
 }
@@ -125,16 +102,8 @@ fn corpus_agrees_on_default_config() {
 #[test]
 fn corpus_agrees_under_stress_config() {
     for (name, src) in CORPUS {
-        let cfg = stressed_cfg();
-        let reference = run_on(Strategy::Segmented, &cfg, src);
-        for s in [
-            Strategy::Heap,
-            Strategy::Copy,
-            Strategy::Cache,
-            Strategy::Hybrid,
-            Strategy::Incremental,
-        ] {
-            assert_eq!(run_on(s, &cfg, src), reference, "{name} diverges under {s} (stressed)");
+        if let Err(e) = agree_on(&stressed_cfg(), src) {
+            panic!("{name} (stressed): {e}");
         }
     }
 }
@@ -154,101 +123,32 @@ fn corpus_agrees_across_check_policies() {
     }
 }
 
-// ---- property-based random programs ---------------------------------------
-
-/// Variable pool for generated programs.
-const VARS: [&str; 5] = ["va", "vb", "vc", "vd", "ve"];
-
-/// Draws a numeric leaf or (when available) a bound variable from the
-/// bitmask over [`VARS`].
-fn leaf(rng: &mut SplitMix64, bound: u8) -> String {
-    let bound_vars: Vec<&'static str> =
-        VARS.iter().enumerate().filter(|(i, _)| bound & (1 << i) != 0).map(|(_, v)| *v).collect();
-    if !bound_vars.is_empty() && rng.gen_bool() {
-        (*rng.choose(&bound_vars)).to_string()
-    } else {
-        rng.gen_range_i64(-50, 50).to_string()
+#[test]
+fn named_fuzz_regressions_have_stable_results() {
+    // The checked-in regressions must keep evaluating to the same values:
+    // a change here means evaluator semantics moved, not just the fuzzer.
+    let cfg = default_cfg();
+    let expected: &[(&str, &str)] =
+        &[("fuzz-escape", "|1"), ("fuzz-branchy", "|40"), ("fuzz-nested-k", "|14")];
+    for (name, want) in expected {
+        let (_, src) = CORPUS.iter().find(|(n, _)| n == name).unwrap();
+        let got = run_on(Strategy::Segmented, &cfg, src).unwrap();
+        assert_eq!(&got, want, "{name} changed value");
     }
 }
 
-/// Generates a deterministic expression using only bound variables from
-/// `bound` (a bitmask over [`VARS`]). `k_depth` counts enclosing `call/cc`
-/// receivers whose continuation parameter may be invoked. Draws come from
-/// the seeded generator, so a failing program is reproducible from its
-/// seed alone.
-fn arb_expr(rng: &mut SplitMix64, depth: u32, bound: u8, k_depth: u8) -> String {
-    if depth == 0 {
-        return leaf(rng, bound);
-    }
-    let sub = |rng: &mut SplitMix64| arb_expr(rng, depth - 1, bound, k_depth);
-    loop {
-        match rng.gen_range(0, 10) {
-            0 => return leaf(rng, bound),
-            1 => {
-                let (a, b) = (sub(rng), sub(rng));
-                return format!("(+ {a} {b})");
-            }
-            2 => {
-                let (a, b) = (sub(rng), sub(rng));
-                return format!("(- {a} {b})");
-            }
-            3 => {
-                let (a, b) = (sub(rng), sub(rng));
-                return format!("(min {a} (* 3 {b}))");
-            }
-            4 => {
-                let (c, t, e) = (sub(rng), sub(rng), sub(rng));
-                return format!("(if (< {c} 0) {t} {e})");
-            }
-            5 => {
-                let (a, b) = (sub(rng), sub(rng));
-                return format!("(begin {a} {b})");
-            }
-            6 => {
-                // let-binding an unbound or shadowed variable.
-                let eligible: Vec<usize> =
-                    (0..VARS.len()).filter(|&i| i < 2 || bound & (1 << i) != 0).collect();
-                let i = *rng.choose(&eligible);
-                let v = VARS[i];
-                let a = sub(rng);
-                let b = arb_expr(rng, depth - 1, bound | (1 << i), k_depth);
-                return format!("(let (({v} {a})) {b})");
-            }
-            7 => {
-                // set! on a bound variable, when any is in scope.
-                if bound == 0 {
-                    continue;
-                }
-                let bound_vars: Vec<&'static str> = VARS
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| bound & (1 << i) != 0)
-                    .map(|(_, v)| *v)
-                    .collect();
-                let v = *rng.choose(&bound_vars);
-                let (a, b) = (sub(rng), sub(rng));
-                return format!("(begin (set! {v} {a}) {b})");
-            }
-            8 => {
-                // Direct lambda application (exercises closures and frames).
-                let b = arb_expr(rng, depth - 1, bound | 1, k_depth);
-                let a = sub(rng);
-                return format!("((lambda ({}) {b}) {a})", VARS[0]);
-            }
-            _ => {
-                // call/cc: the continuation may be invoked (escape) or
-                // ignored; nesting is capped at three receivers.
-                if k_depth >= 3 {
-                    continue;
-                }
-                let kname = format!("k{k_depth}");
-                let b = arb_expr(rng, depth - 1, bound, k_depth + 1);
-                if rng.gen_bool() {
-                    let a = sub(rng);
-                    return format!("(call/cc (lambda ({kname}) (+ 1 ({kname} {a}) {b})))");
-                }
-                return format!("(call/cc (lambda ({kname}) {b}))");
-            }
+// ---- property-based random traces and programs ----------------------------
+
+/// Machine-level traces: every strategy against the shared oracle, with
+/// invariant audits on the segmented machine. This is the same harness the
+/// `segstack-fuzz` CLI drives at scale; a failure message includes the
+/// shrunk replay seed.
+#[test]
+fn random_traces_agree_with_the_oracle() {
+    for seed in 0..300u64 {
+        let spec = TraceSpec::generate(seed, 64);
+        if let Err(e) = fuzz_trace(&spec) {
+            panic!("replay with `cargo run -p segstack-fuzz -- --seed {seed} --ops 64`:\n{e}");
         }
     }
 }
@@ -258,7 +158,7 @@ fn arb_expr(rng: &mut SplitMix64, depth: u32, bound: u8, k_depth: u8) -> String 
 #[test]
 fn random_programs_agree() {
     for seed in 0..64u64 {
-        let src = arb_expr(&mut SplitMix64::new(seed), 4, 0, 0);
+        let src = gen_program(seed, 4);
         agree(&default_cfg(), &src);
         agree(&stressed_cfg(), &src);
     }
@@ -271,11 +171,7 @@ fn random_programs_agree() {
 fn random_programs_agree_at_depth() {
     // A disjoint seed range from `random_programs_agree`, for variety.
     for seed in 5000..5064u64 {
-        let src = arb_expr(&mut SplitMix64::new(seed), 3, 0, 0);
-        let program = format!(
-            "(define (drive n) (if (= n 0) {src} (+ 1 (drive (- n 1)))))
-             (drive 60)"
-        );
+        let program = gen_driven_program(seed, 3);
         agree(&stressed_cfg(), &program);
     }
 }

@@ -1,0 +1,16 @@
+; Regression trace from the fuzzer's program generator (seed 27, depth 4):
+; six call/cc sites spread over both arms of nested conditionals, mixing
+; escaping ((k0 v) in operand position) and ignored receivers.
+(if (< (if (< (min (- 4 -18) (* 3 (let ((va 27)) 28))) 0)
+           (if (< (call/cc (lambda (k0) (+ 1 (k0 27) -33))) 0)
+               (- 49 -50)
+               (call/cc (lambda (k0) (+ 1 (k0 30) 28))))
+           (- (- 2 -1) (call/cc (lambda (k0) 42))))
+       0)
+    (+ (begin (if (< -29 0) -19 -17) (begin 37 33))
+       (if (< (begin -34 -44) 0) (- 17 10) (+ -29 -18)))
+    (if (< (min (min -20 (* 3 47))
+                (* 3 (call/cc (lambda (k0) (+ 1 (k0 -10) -5)))))
+           0)
+        (call/cc (lambda (k0) (+ 1 (k0 (+ -5 -27)) (+ -38 11))))
+        (let ((vb (let ((vb 8)) 26))) (let ((va vb)) 47))))

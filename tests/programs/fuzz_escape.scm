@@ -1,0 +1,12 @@
+; Regression trace from the fuzzer's program generator (seed 5, depth 4):
+; an escaping continuation invocation feeding a lambda application whose
+; body mutates its parameter, with a second call/cc in argument position.
+; Checked in verbatim so the shape survives generator changes.
+((lambda (va)
+   (if (< (min (call/cc (lambda (k0) (+ 1 (k0 va) va)))
+               (* 3 (begin va va)))
+          0)
+       (+ (let ((vb va)) -41) (+ -19 va))
+       (- (+ va va) (begin -27 va))))
+ (call/cc (lambda (k0)
+   ((lambda (va) (begin (set! va 1) va)) (min 5 (* 3 1))))))

@@ -1,0 +1,8 @@
+; Regression trace from the fuzzer's program generator (seed 32, depth 4):
+; nested receivers k0/k1 where the outer continuation is invoked while the
+; inner call/cc sits in the discarded operand of the + that never finishes.
+(+ (- (call/cc (lambda (k0) (begin -39 31)))
+      ((lambda (va) (begin 31 va)) (let ((vb -17)) vb)))
+   (min (min (begin -28 -34) (* 3 (call/cc (lambda (k0) -6))))
+        (* 3 (call/cc (lambda (k0)
+               (+ 1 (k0 (let ((vb 37)) vb)) (call/cc (lambda (k1) -12))))))))
