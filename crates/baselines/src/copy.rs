@@ -201,6 +201,17 @@ impl<S: StackSlot> ControlStack<S> for CopyStack<S> {
     }
 
     fn reinstate(&mut self, k: &Continuation<S>) -> Result<ReturnAddress, StackError> {
+        // `call/1cc`: take the inner continuation out of a one-shot
+        // wrapper; a spent wrapper errors before any state changes.
+        let taken;
+        let k = match k.unwrap_one_shot() {
+            None => k,
+            Some(Err(e)) => return Err(e),
+            Some(Ok(inner)) => {
+                taken = inner;
+                &taken
+            }
+        };
         self.metrics.reinstatements += 1;
         if k.is_exit() {
             self.fp = 0;

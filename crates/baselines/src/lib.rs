@@ -151,7 +151,7 @@ impl std::str::FromStr for Strategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use segstack_core::{sim, ReturnAddress, TestCode, TestSlot};
+    use segstack_core::{sim, ReturnAddress, StackError, TestCode, TestSlot};
 
     #[test]
     fn parse_and_display_round_trip() {
@@ -198,6 +198,42 @@ mod tests {
             );
             assert_eq!(stack.get(1), TestSlot::Int(6), "{s}: caller frame argument");
             assert_eq!(sim::unwind_all(&mut *stack), 8, "{s}: remaining unwind");
+        }
+    }
+
+    /// The `call/1cc` contract on every strategy: a one-shot continuation
+    /// resumes exactly like its multi-shot counterpart the first time, and
+    /// every later reinstatement fails with `OneShotReused` without
+    /// touching machine state.
+    #[test]
+    fn one_shot_contract_holds_on_all_strategies() {
+        for s in Strategy::ALL {
+            let code = Rc::new(TestCode::new());
+            let cfg = Config::builder()
+                .segment_slots(512)
+                .frame_bound(16)
+                .copy_bound(32)
+                .build()
+                .unwrap();
+            let mut stack: Box<dyn ControlStack<TestSlot>> = s.build(cfg, code.clone()).unwrap();
+            let ras = sim::push_frames(&mut *stack, &code, 8, 4);
+            let k = stack.capture_one_shot();
+            assert!(k.is_one_shot(), "{s}");
+            assert_eq!(k.strategy(), s.name(), "{s}: wrapper reports the creator");
+            assert_eq!(sim::unwind_all(&mut *stack), 9, "{s}");
+            assert_eq!(
+                stack.reinstate(&k).unwrap(),
+                ReturnAddress::Code(ras[7]),
+                "{s}: first shot resumes normally"
+            );
+            assert_eq!(stack.get(1), TestSlot::Int(6), "{s}: caller frame argument");
+            assert_eq!(sim::unwind_all(&mut *stack), 8, "{s}: remaining unwind");
+            // The shot is spent: reuse is an error and leaves the (now
+            // quiescent) machine reusable.
+            assert_eq!(stack.reinstate(&k).unwrap_err(), StackError::OneShotReused, "{s}");
+            assert!(k.one_shot_consumed(), "{s}");
+            sim::push_frames(&mut *stack, &code, 3, 4);
+            assert_eq!(sim::unwind_all(&mut *stack), 4, "{s}: machine still works");
         }
     }
 

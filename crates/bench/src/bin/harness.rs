@@ -1,12 +1,29 @@
 //! Prints every experiment table (or the ones named on the command line).
 //!
 //! Run with `cargo run -p segstack-bench --release --bin harness`.
-//! Pass experiment ids (`e01`..`e15`, `a1`..`a3`) to run a subset.
+//! Pass experiment ids (`e01`..`e17`, `a1`..`a3`) to run a subset.
+//! `--json PATH` additionally writes the selected tables as one JSON
+//! document (e.g. the committed `BENCH_PR4.json` regression snapshot).
 
 use segstack_bench::experiments;
 
 fn main() {
-    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let mut filters: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            filters.push(a);
+        }
+    }
     let all = experiments::all();
     let selected: Vec<_> = if filters.is_empty() {
         all
@@ -14,15 +31,28 @@ fn main() {
         all.into_iter().filter(|(id, _)| filters.iter().any(|f| f == id)).collect()
     };
     if selected.is_empty() {
-        eprintln!("no experiment matches; known ids: e01..e15, a1..a3");
+        eprintln!("no experiment matches; known ids: e01..e17, a1..a3");
         std::process::exit(2);
     }
     println!("# segstack experiment harness");
     println!("(times are wall-clock on this host; counters are host-independent)\n");
+    let mut json_entries: Vec<String> = Vec::new();
     for (id, f) in selected {
         let start = std::time::Instant::now();
         let table = f();
         println!("{table}");
         println!("[{id} took {:.1}s]\n", start.elapsed().as_secs_f64());
+        json_entries.push(format!("{{\"id\":\"{id}\",\"table\":{}}}", table.to_json()));
+    }
+    if let Some(path) = json_path {
+        let doc = format!(
+            "{{\"generator\":\"segstack-bench harness\",\"experiments\":[{}]}}\n",
+            json_entries.join(",")
+        );
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
     }
 }

@@ -325,13 +325,25 @@ pub fn e08_overflow_checks() -> Table {
         ("tak 16 10 4", w::tak(16, 10, 4)),
         ("tail-loop 300k", w::tail_loop(300_000)),
         ("leaf-heavy sort 600", w::sort(600)),
+        ("lcg-let-loop 300k", w::lcg_let_loop(300_000)),
     ] {
-        for policy in [CheckPolicy::Always, CheckPolicy::Elide, CheckPolicy::Never] {
-            let mut e = engine(Strategy::Segmented, &big, policy);
+        for (label, policy, stable) in [
+            ("always", CheckPolicy::Always, false),
+            ("elide", CheckPolicy::Elide, false),
+            ("elide+stable", CheckPolicy::Elide, true),
+            ("never", CheckPolicy::Never, false),
+        ] {
+            let mut e = Engine::builder()
+                .strategy(Strategy::Segmented)
+                .config(big.clone())
+                .check_policy(policy)
+                .stable_primitive_bindings(stable)
+                .build()
+                .expect("engine construction");
             let r = measure(&mut e, "", &src);
             t.row([
                 name.to_string(),
-                policy.to_string(),
+                label.to_string(),
                 fmt_ns(r.nanos),
                 r.metrics.checks_executed.to_string(),
                 r.metrics.checks_elided.to_string(),
@@ -341,6 +353,11 @@ pub fn e08_overflow_checks() -> Table {
     t.note(
         "primitive applications never push frames, so they are check-free leaf \
             calls by construction; tail calls never check in any policy",
+    );
+    t.note(
+        "elide+stable adds the stable-primitive-bindings promise: direct \
+            applications of lambdas (`let` bodies) that only call primitives are \
+            proven to fit the two-frame reserve and drop their checks too",
     );
     t
 }
@@ -642,6 +659,115 @@ pub fn e15_serve_scaling() -> Table {
     t
 }
 
+/// E16 — coroutine ping-pong: multi-shot `%call/cc` vs. one-shot
+/// `%call/1cc` switches (the relink fast path at the Scheme level).
+pub fn e16_pingpong() -> Table {
+    let mut t = Table::new(
+        "E16: coroutine ping-pong — %call/cc vs. %call/1cc switches",
+        "declaring a switch continuation one-shot lets the segmented stack reinstate \
+         it by relinking the suspended side's segment chain; the copy path's \
+         per-switch slot traffic disappears",
+        &[
+            "strategy",
+            "capture",
+            "time",
+            "ns/switch",
+            "slots copied/switch",
+            "relinked switches",
+            "copy slots avoided",
+        ],
+    );
+    // Sides parked deep enough that each lives past a segment boundary.
+    let cfg =
+        Config::builder().segment_slots(2048).frame_bound(64).copy_bound(128).build().unwrap();
+    let (spacer, rounds) = (600u32, 20_000u32);
+    for s in Strategy::ALL {
+        for cap in ["%call/cc", "%call/1cc"] {
+            let src = w::pingpong(cap, spacer, rounds);
+            let r = measure_on(s, &cfg, &src);
+            let switches = r.metrics.reinstatements.max(1) as f64;
+            t.row([
+                s.to_string(),
+                cap.to_string(),
+                fmt_ns(r.nanos),
+                format!("{:.0}", r.nanos / switches),
+                format!("{:.1}", r.metrics.slots_copied as f64 / switches),
+                r.metrics.reinstates_relinked.to_string(),
+                r.metrics.slots_copy_avoided.to_string(),
+            ]);
+        }
+    }
+    t.note(
+        "every strategy accepts %call/1cc (the one-shot contract is checked \
+            uniformly); only the segmented machine converts it into zero-copy relinks",
+    );
+    t
+}
+
+/// E17 — reinstatement cost vs. chain depth: the unshared one-shot fast
+/// path stays flat while the shared copy path grows linearly (core-level).
+pub fn e17_relink_depth() -> Table {
+    let mut t = Table::new(
+        "E17: reinstate cost vs. continuation depth — relink vs. copy (core)",
+        "with a uniquely-owned one-shot target the segmented stack relinks in O(1) \
+         and copies nothing at any depth; a shared multi-shot target of the same \
+         shape pays a copy linear in depth (copy bound set above the deepest image)",
+        &[
+            "depth",
+            "target",
+            "ns/reinstate",
+            "slots copied/reinstate",
+            "relinked",
+            "copy slots avoided",
+        ],
+    );
+    let rounds = 400u32;
+    let code = std::rc::Rc::new(TestCode::new());
+    for depth in [64usize, 256, 1024, 4096] {
+        // One segment holds the whole tower and the copy bound never
+        // splits, so the copy path pays the full image every time.
+        let slots = depth * 8 + 4096;
+        let cfg = Config::builder()
+            .segment_slots(slots)
+            .frame_bound(64)
+            .copy_bound(slots)
+            .build()
+            .unwrap();
+        for one_shot in [true, false] {
+            let mut stack = SegmentedStack::<TestSlot>::new(cfg.clone(), code.clone()).unwrap();
+            sim::push_frames(&mut stack, &code, depth, 8);
+            stack.metrics_mut().reset();
+            let start = Instant::now();
+            for _ in 0..rounds {
+                sim::push_frames(&mut stack, &code, 1, 8);
+                let k = if one_shot { stack.capture_one_shot() } else { stack.capture() };
+                // Resume from an unrelated context (a scheduler's empty
+                // stack): the machine detaches from the sealed tower, so
+                // the only remaining handle is the continuation itself.
+                stack.reset();
+                stack.reinstate(&k).expect("reinstate");
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            let m = stack.metrics();
+            let n = m.reinstatements.max(1) as f64;
+            t.row([
+                depth.to_string(),
+                if one_shot { "one-shot (unshared)" } else { "multi-shot (shared)" }.to_string(),
+                format!("{:.0}", nanos / n),
+                format!("{:.1}", m.slots_copied as f64 / n),
+                m.reinstates_relinked.to_string(),
+                m.slots_copy_avoided.to_string(),
+            ]);
+        }
+    }
+    t.note(
+        "each round seals the whole tower and reinstates it once; the one-shot \
+            handle dies with the reinstatement, so the record is relinked in place — \
+            slots copied stays exactly 0 while the shared path scales with depth",
+    );
+    t
+}
+
 /// A1 — ablation: the §4 empty-segment capture rule on vs. off.
 pub fn a1_tail_rule() -> Table {
     let mut t = Table::new(
@@ -754,6 +880,8 @@ pub fn all() -> Vec<Experiment> {
         ("e13", e13_typical),
         ("e14", e14_frame_sizes),
         ("e15", e15_serve_scaling),
+        ("e16", e16_pingpong),
+        ("e17", e17_relink_depth),
         ("a1", a1_tail_rule),
         ("a2", a2_segment_size),
         ("a3", a3_pooling),

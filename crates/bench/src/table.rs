@@ -41,6 +41,26 @@ impl Table {
         self.notes.push(s.into());
     }
 
+    /// Renders the table as one JSON object (hand-rolled: the workspace
+    /// deliberately has no serialization dependency). Cells stay strings —
+    /// consumers parse the few numeric columns they care about.
+    pub fn to_json(&self) -> String {
+        let strs = |items: &[String]| -> String {
+            let quoted: Vec<String> =
+                items.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+            format!("[{}]", quoted.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| strs(r)).collect();
+        format!(
+            "{{\"title\":\"{}\",\"claim\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            json_escape(&self.title),
+            json_escape(&self.claim),
+            strs(&self.headers),
+            rows.join(","),
+            strs(&self.notes),
+        )
+    }
+
     fn widths(&self) -> Vec<usize> {
         let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
@@ -80,6 +100,23 @@ impl fmt::Display for Table {
     }
 }
 
+/// Escapes a string for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a nanoseconds-per-op figure compactly.
 pub fn fmt_ns(ns: f64) -> String {
     if ns >= 1_000_000.0 {
@@ -117,6 +154,19 @@ mod tests {
     fn rejects_bad_rows() {
         let mut t = Table::new("t", "c", &["a", "b"]);
         t.row(["only-one".to_string()]);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut t = Table::new("E0: \"demo\"", "claim\nline", &["a", "b"]);
+        t.row(["x".to_string(), "1".to_string()]);
+        t.note("n1");
+        let j = t.to_json();
+        assert!(j.contains("\"title\":\"E0: \\\"demo\\\"\""));
+        assert!(j.contains("\"claim\":\"claim\\nline\""));
+        assert!(j.contains("\"headers\":[\"a\",\"b\"]"));
+        assert!(j.contains("\"rows\":[[\"x\",\"1\"]]"));
+        assert!(j.contains("\"notes\":[\"n1\"]"));
     }
 
     #[test]

@@ -179,6 +179,55 @@ pub fn reinstate_at_depth(depth: u32, rounds: u32) -> String {
     )
 }
 
+/// Coroutine ping-pong for E16: two sides, each parked `spacer` non-tail
+/// frames deep in its own region of the stack, pass control back and forth
+/// `rounds` times. Every switch captures a fresh continuation of the
+/// suspending side with `cap` (`"%call/cc"` or `"%call/1cc"`) and jumps to
+/// the other side's saved one, so each continuation is reinstated exactly
+/// once — the shape where one-shot capture lets the segmented stack relink
+/// the suspended side's segment chain instead of copying it.
+pub fn pingpong(cap: &str, spacer: u32, rounds: u32) -> String {
+    format!(
+        "(define k-a #f)
+         (define k-b #f)
+         (define k-exit #f)
+         (define count 0)
+         (define (dig n thunk) (if (= n 0) (thunk) (+ 1 (dig (- n 1) thunk))))
+         (define (b-loop)
+           ({cap} (lambda (k) (set! k-b k) (k-a 0)))
+           (b-loop))
+         (define (a-loop)
+           (if (< count {rounds})
+               (begin
+                 (set! count (+ count 1))
+                 ({cap} (lambda (k) (set! k-a k) (k-b 0)))
+                 (a-loop))
+               (k-exit count)))
+         (%call/cc
+           (lambda (k)
+             (set! k-exit k)
+             (dig {spacer}
+               (lambda ()
+                 ({cap} (lambda (k2)
+                          (set! k-a k2)
+                          (dig {spacer} (lambda () (b-loop)))))
+                 (a-loop)))))"
+    )
+}
+
+/// A tail loop whose body is a `let`-shaped LCG step: every iteration is a
+/// direct application of a lambda whose body only calls primitives — the
+/// shape the `stable_primitive_bindings` analysis (E8) turns check-free.
+pub fn lcg_let_loop(n: u32) -> String {
+    format!(
+        "(define (step s)
+           (let ((t (modulo (+ (* s 1103515245) 12345) 2147483648)))
+             (modulo t 1000)))
+         (define (loop i s) (if (= i 0) s (loop (- i 1) (step s))))
+         (loop {n} 42)"
+    )
+}
+
 /// The Boyer-style rewriting theorem prover over `n` theorem instances:
 /// the classic symbol/list-intensive Gabriel workload shape.
 pub fn boyer(n: u32) -> String {
@@ -225,6 +274,9 @@ mod tests {
         assert_eq!(eval(&super::boyer(2)), "122");
         assert_eq!(eval(&super::reinstate_at_depth(100, 5)), "5");
         assert_eq!(eval(&super::generator_drain(10, 3)), "135");
+        assert_eq!(eval(&super::pingpong("%call/cc", 20, 50)), "50");
+        assert_eq!(eval(&super::pingpong("%call/1cc", 20, 50)), "50");
+        assert_eq!(eval(&super::lcg_let_loop(100)), eval(&super::lcg_let_loop(100)));
         let d = eval(&super::deriv(5));
         assert_eq!(d, "3");
         assert_eq!(eval(&super::boundary_loop(10, 100)), eval(&super::boundary_loop(10, 100)));

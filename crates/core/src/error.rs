@@ -34,6 +34,10 @@ pub enum StackError {
         /// Slots remaining under the cap.
         available: usize,
     },
+    /// A one-shot continuation (`call/1cc`) was reinstated a second time.
+    /// One-shot continuations are consumed by their first reinstatement —
+    /// that is the contract that makes the zero-copy relink fast path safe.
+    OneShotReused,
 }
 
 impl fmt::Display for StackError {
@@ -50,6 +54,9 @@ impl fmt::Display for StackError {
                     f,
                     "stack memory exhausted: {requested} slots requested, {available} available"
                 )
+            }
+            StackError::OneShotReused => {
+                write!(f, "one-shot continuation was already reinstated once")
             }
         }
     }
@@ -70,6 +77,8 @@ mod tests {
         assert!(e.to_string().contains("64"));
         let e = StackError::OutOfStackMemory { requested: 10, available: 3 };
         assert!(e.to_string().contains("exhausted"));
+        let e = StackError::OneShotReused;
+        assert!(e.to_string().contains("one-shot"));
     }
 
     #[test]

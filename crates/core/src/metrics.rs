@@ -27,6 +27,14 @@ pub struct Metrics {
     /// Continuations reinstated (invocations of continuation objects,
     /// including implicit reinstatement on underflow).
     pub reinstatements: u64,
+    /// Reinstatements served by the zero-copy relink fast path: the target
+    /// record and its buffer were unshared, so the segment chain was
+    /// adopted as the current stack without copying a single slot.
+    pub reinstates_relinked: u64,
+    /// Slots the relink fast path would otherwise have copied (the sizes of
+    /// relinked records; the counterpart of `slots_copied` on the copy
+    /// path).
+    pub slots_copy_avoided: u64,
     /// Continuation splits performed before reinstatement (Figure 7).
     pub splits: u64,
     /// Stack overflows handled (implicit captures, §5).
@@ -86,13 +94,15 @@ impl Metrics {
 
     /// Every counter, in the fixed field order used by
     /// [`Metrics::FIELD_NAMES`].
-    pub fn fields(&self) -> [u64; 16] {
+    pub fn fields(&self) -> [u64; 18] {
         [
             self.calls,
             self.tail_calls,
             self.returns,
             self.captures,
             self.reinstatements,
+            self.reinstates_relinked,
+            self.slots_copy_avoided,
             self.splits,
             self.overflows,
             self.underflows,
@@ -107,13 +117,15 @@ impl Metrics {
         ]
     }
 
-    fn fields_mut(&mut self) -> [&mut u64; 16] {
+    fn fields_mut(&mut self) -> [&mut u64; 18] {
         [
             &mut self.calls,
             &mut self.tail_calls,
             &mut self.returns,
             &mut self.captures,
             &mut self.reinstatements,
+            &mut self.reinstates_relinked,
+            &mut self.slots_copy_avoided,
             &mut self.splits,
             &mut self.overflows,
             &mut self.underflows,
@@ -129,12 +141,14 @@ impl Metrics {
     }
 
     /// Counter names matching [`Metrics::fields`] positionally.
-    pub const FIELD_NAMES: [&'static str; 16] = [
+    pub const FIELD_NAMES: [&'static str; 18] = [
         "calls",
         "tail_calls",
         "returns",
         "captures",
         "reinstatements",
+        "reinstates_relinked",
+        "slots_copy_avoided",
         "splits",
         "overflows",
         "underflows",
@@ -167,14 +181,16 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "calls={} tail={} rets={} captures={} reinstates={} splits={} \
-             ovf={} unf={} segs={}+{}r copied={} heap-frames={} heap-slots={} \
-             records={} checks={}/{} elided",
+            "calls={} tail={} rets={} captures={} reinstates={} relinked={} \
+             copy-avoided={} splits={} ovf={} unf={} segs={}+{}r copied={} \
+             heap-frames={} heap-slots={} records={} checks={}/{} elided",
             self.calls,
             self.tail_calls,
             self.returns,
             self.captures,
             self.reinstatements,
+            self.reinstates_relinked,
+            self.slots_copy_avoided,
             self.splits,
             self.overflows,
             self.underflows,

@@ -9,9 +9,11 @@
 //! [`StackError::ForeignContinuation`](crate::StackError::ForeignContinuation).
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::error::StackError;
 use crate::slot::StackSlot;
 
 /// Strategy-specific continuation representation.
@@ -104,6 +106,54 @@ impl<S: StackSlot> Continuation<S> {
     pub fn strategy(&self) -> &'static str {
         self.repr.strategy()
     }
+
+    /// Wraps `inner` as a *one-shot* continuation (`call/1cc`): it may be
+    /// reinstated at most once. The first reinstatement takes the inner
+    /// continuation out of the wrapper; every later attempt observes the
+    /// empty wrapper and fails with [`StackError::OneShotReused`].
+    ///
+    /// Because the wrapper (not the inner continuation) is what circulates
+    /// through VM slots and clones, the inner representation usually stays
+    /// uniquely referenced — which is exactly what lets the segmented
+    /// strategy reinstate it by relinking instead of copying.
+    pub fn one_shot(inner: Continuation<S>) -> Self {
+        let strategy = inner.strategy();
+        Continuation { repr: Rc::new(OneShotKont { inner: RefCell::new(Some(inner)), strategy }) }
+    }
+
+    /// Returns `true` if this continuation is a one-shot wrapper (consumed
+    /// or not).
+    pub fn is_one_shot(&self) -> bool {
+        self.repr.as_any().is::<OneShotKont<S>>()
+    }
+
+    /// Number of live handles to the underlying representation. A count of
+    /// one means the caller holds the only handle, so a strategy may
+    /// consume the representation in place (the safe-Rust analogue of the
+    /// paper's "no other reference to this stack record" argument).
+    pub fn repr_strong_count(&self) -> usize {
+        Rc::strong_count(&self.repr)
+    }
+
+    /// If this is a one-shot wrapper, takes the inner continuation out of
+    /// it (consuming the wrapper's single shot).
+    ///
+    /// Returns `None` for ordinary continuations, `Some(Ok(inner))` on the
+    /// first call, and `Some(Err(StackError::OneShotReused))` once the shot
+    /// has been spent. Strategies call this at the top of `reinstate`.
+    pub fn unwrap_one_shot(&self) -> Option<Result<Continuation<S>, StackError>> {
+        let w = self.repr.as_any().downcast_ref::<OneShotKont<S>>()?;
+        Some(w.inner.borrow_mut().take().ok_or(StackError::OneShotReused))
+    }
+
+    /// Returns `true` if this is a one-shot wrapper whose shot has already
+    /// been spent (diagnostics; does not consume anything).
+    pub fn one_shot_consumed(&self) -> bool {
+        match self.repr.as_any().downcast_ref::<OneShotKont<S>>() {
+            Some(w) => w.inner.borrow().is_none(),
+            None => false,
+        }
+    }
 }
 
 impl<S: StackSlot> Clone for Continuation<S> {
@@ -121,6 +171,43 @@ impl<S: StackSlot> fmt::Debug for Continuation<S> {
             self.chain_len(),
             self.retained_slots()
         )
+    }
+}
+
+/// One-shot continuation wrapper (`call/1cc`). Holds the wrapped
+/// continuation until the first reinstatement takes it; afterwards the
+/// wrapper is empty and reinstating it is [`StackError::OneShotReused`].
+struct OneShotKont<S: StackSlot> {
+    inner: RefCell<Option<Continuation<S>>>,
+    /// Strategy of the wrapped continuation, kept so the wrapper still
+    /// reports it after the shot is spent.
+    strategy: &'static str,
+}
+
+impl<S: StackSlot> fmt::Debug for OneShotKont<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OneShotKont")
+            .field("strategy", &self.strategy)
+            .field("consumed", &self.inner.borrow().is_none())
+            .finish()
+    }
+}
+
+impl<S: StackSlot> KontRepr<S> for OneShotKont<S> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn retained_slots(&self) -> usize {
+        self.inner.borrow().as_ref().map_or(0, Continuation::retained_slots)
+    }
+
+    fn chain_len(&self) -> usize {
+        self.inner.borrow().as_ref().map_or(0, Continuation::chain_len)
+    }
+
+    fn strategy(&self) -> &'static str {
+        self.strategy
     }
 }
 
@@ -168,5 +255,43 @@ mod tests {
         assert!(k.ptr_eq(&k2));
         let k3 = Continuation::<TestSlot>::exit();
         assert!(!k.ptr_eq(&k3), "distinct exit records are distinct objects");
+    }
+
+    #[test]
+    fn one_shot_wraps_and_consumes_exactly_once() {
+        let inner = Continuation::<TestSlot>::exit();
+        let k = Continuation::one_shot(inner);
+        assert!(k.is_one_shot());
+        assert!(!k.one_shot_consumed());
+        assert_eq!(k.strategy(), "exit");
+        assert!(!k.is_exit(), "the wrapper itself is not the exit record");
+        let taken = k.unwrap_one_shot().expect("is a wrapper").expect("first shot");
+        assert!(taken.is_exit());
+        assert!(k.one_shot_consumed());
+        assert_eq!(
+            k.unwrap_one_shot().expect("is a wrapper").unwrap_err(),
+            StackError::OneShotReused
+        );
+        assert_eq!(k.retained_slots(), 0);
+        assert_eq!(k.chain_len(), 0);
+        assert!(format!("{k:?}").contains("exit"));
+    }
+
+    #[test]
+    fn ordinary_continuations_are_not_one_shot() {
+        let k = Continuation::<TestSlot>::exit();
+        assert!(!k.is_one_shot());
+        assert!(!k.one_shot_consumed());
+        assert!(k.unwrap_one_shot().is_none());
+    }
+
+    #[test]
+    fn repr_strong_count_tracks_handles() {
+        let k = Continuation::<TestSlot>::exit();
+        assert_eq!(k.repr_strong_count(), 1);
+        let k2 = k.clone();
+        assert_eq!(k.repr_strong_count(), 2);
+        drop(k2);
+        assert_eq!(k.repr_strong_count(), 1);
     }
 }

@@ -75,7 +75,17 @@ impl<S: StackSlot> SegmentAllocator<S> {
         metrics: &mut Metrics,
     ) -> Result<Buffer<S>, StackError> {
         let want = min_len.max(self.default_len);
-        if let Some(pos) = self.pool.iter().position(|b| b.borrow().len() >= want) {
+        // Best fit: the smallest sufficient pooled buffer. First fit would
+        // let a small request consume a huge buffer and force a fresh
+        // allocation for the next big request.
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.borrow().len() >= want)
+            .min_by_key(|(_, b)| b.borrow().len())
+            .map(|(i, _)| i);
+        if let Some(pos) = best {
             metrics.segments_reused += 1;
             return Ok(self.pool.swap_remove(pos));
         }
@@ -153,6 +163,26 @@ mod tests {
         assert_eq!(a.pooled(), 0);
         assert_eq!(m.segments_reused, 1);
         assert_eq!(m.segments_allocated, 1);
+    }
+
+    #[test]
+    fn alloc_picks_the_best_fitting_pooled_buffer() {
+        let mut m = Metrics::new();
+        let mut a = SegmentAllocator::<TestSlot>::new(&cfg(64, 4));
+        let big = a.alloc(1000, &mut m).unwrap();
+        let small = a.alloc(0, &mut m).unwrap();
+        a.retire(big); // pooled first, so first fit would hand it out
+        a.retire(small);
+        assert_eq!(a.pooled(), 2);
+        assert_eq!(m.segments_allocated, 2);
+        // A small request must take the 64-slot buffer, not the 1000-slot
+        // one, leaving the big buffer available for the big request.
+        let b1 = a.alloc(32, &mut m).unwrap();
+        assert_eq!(b1.borrow().len(), 64, "best fit picks the smallest sufficient buffer");
+        let b2 = a.alloc(1000, &mut m).unwrap();
+        assert_eq!(b2.borrow().len(), 1000);
+        assert_eq!(m.segments_reused, 2);
+        assert_eq!(m.segments_allocated, 2, "no fresh allocation was needed");
     }
 
     #[test]

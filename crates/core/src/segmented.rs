@@ -41,6 +41,12 @@ struct SealedSeg<S: StackSlot> {
     ra: CodeAddr,
     /// The next stack record down, or `None` for the exit routine.
     link: Option<Continuation<S>>,
+    /// Set when the relink fast path adopted this record's segment as the
+    /// live stack. A consumed record must never be reinstated again (its
+    /// slots are being overwritten by live execution); the unshared-handle
+    /// precondition makes this unreachable, so the flag is a defensive
+    /// poison checked by `reinstate` and `audit_invariants`.
+    consumed: bool,
 }
 
 impl<S: StackSlot> fmt::Debug for SealedSeg<S> {
@@ -50,6 +56,7 @@ impl<S: StackSlot> fmt::Debug for SealedSeg<S> {
             .field("size", &self.size)
             .field("ra", &self.ra)
             .field("linked", &self.link.is_some())
+            .field("consumed", &self.consumed)
             .finish()
     }
 }
@@ -234,6 +241,7 @@ impl<S: StackSlot> SegmentedStack<S> {
             size: seal_top - self.base,
             ra,
             link: self.link.take(),
+            consumed: false,
         };
         self.metrics.stack_records_allocated += 1;
         let k = Continuation::from_repr(Rc::new(SegKont(RefCell::new(sealed))));
@@ -282,6 +290,7 @@ impl<S: StackSlot> SegmentedStack<S> {
             size: sp - s.base,
             ra: bottom_ra,
             link: s.link.take(),
+            consumed: false,
         };
         s.buf.borrow_mut()[sp] = S::from_return_address(ReturnAddress::Underflow);
         s.base = sp;
@@ -289,6 +298,237 @@ impl<S: StackSlot> SegmentedStack<S> {
         s.link = Some(Continuation::from_repr(Rc::new(SegKont(RefCell::new(bottom)))));
         self.metrics.splits += 1;
         self.metrics.stack_records_allocated += 1;
+    }
+
+    /// Zero-copy reinstatement: the relink fast path.
+    ///
+    /// When the caller holds the *only* handle to the target record
+    /// (`Rc::strong_count == 1`) **and** that handle dies with the current
+    /// reinstatement (the `owned` contract of
+    /// [`reinstate_resolved`](Self::reinstate_resolved)), nothing can ever
+    /// reinstate it again, so instead of copying its slots the machine may
+    /// adopt the record's segment — and, transitively, its whole chain —
+    /// as the current stack. `Rc` uniqueness plus handle ownership is the
+    /// safe-Rust analogue of the paper's ownership argument: with no other
+    /// reference to the stack record, no observer can distinguish
+    /// relinking it in place from copying it out. One-shot continuations
+    /// (`call/1cc`) and the underflow handler's link reach this state by
+    /// construction; a borrowed multi-shot handle never qualifies, because
+    /// the caller's binding *is* the one handle and survives the call.
+    ///
+    /// Two geometries qualify:
+    ///
+    /// * **same buffer** — the record seals the region immediately below
+    ///   the current base (capture never copied it out), so the base is
+    ///   simply lowered back over it;
+    /// * **cross buffer** — every handle to the record's buffer is
+    ///   accounted for by records inside the continuation's own chain, so
+    ///   no foreign record can alias the region above the adopted segment.
+    ///   The accounting walk is bounded; longer chains fall back to the
+    ///   bounded copy.
+    ///
+    /// Returns `None` (and mutates nothing) when the fast path does not
+    /// apply; the caller then takes the ordinary Figure 6–7 copy path.
+    fn try_relink(&mut self, k: &Continuation<S>) -> Option<ReturnAddress> {
+        /// Chain prefix inspected by the cross-buffer accounting walk.
+        const RELINK_WALK_BUDGET: usize = 32;
+        if k.repr_strong_count() != 1 {
+            return None;
+        }
+        let head = k.repr().as_any().downcast_ref::<SegKont<S>>()?;
+        let (head_buf, head_base, size, ra) = {
+            let s = head.0.borrow();
+            if s.consumed || s.size == 0 {
+                return None;
+            }
+            (s.buf.clone(), s.base, s.size, s.ra)
+        };
+        let disp = self.code.displacement(ra);
+        if disp == 0 || disp > size {
+            return None;
+        }
+        let buf_len = head_buf.borrow().len();
+        let top = head_base + size;
+        if top > buf_len {
+            return None;
+        }
+        let new_fp = top - disp;
+        // The adopted state must satisfy the machine invariant that one
+        // frame bound of reserve survives above the frame pointer (Fig. 8).
+        if new_fp + self.cfg.frame_bound() > buf_len {
+            return None;
+        }
+        if Rc::ptr_eq(&head_buf, &self.buf) {
+            // Same-buffer: only a seal sitting flush under the current
+            // base merges back by lowering the base over it.
+            if top != self.base {
+                return None;
+            }
+        } else {
+            // Cross-buffer: tally chain-internal handles to the adopted
+            // buffer (our `head_buf` clone is the one transient extra).
+            let target = Rc::strong_count(&head_buf) - 1;
+            let mut tally = 0usize;
+            let mut accounted = false;
+            let mut steps = 0usize;
+            let mut cur = Some(k.clone());
+            while let Some(c) = cur {
+                steps += 1;
+                if c.is_exit() || steps > RELINK_WALK_BUDGET {
+                    break;
+                }
+                let Some(sk) = c.repr().as_any().downcast_ref::<SegKont<S>>() else {
+                    break; // foreign record: its buffer use is opaque
+                };
+                let next = {
+                    let s = sk.0.borrow();
+                    if s.consumed {
+                        break;
+                    }
+                    if Rc::ptr_eq(&s.buf, &head_buf) {
+                        tally += 1;
+                    }
+                    s.link.clone()
+                };
+                if tally == target {
+                    accounted = true;
+                    break;
+                }
+                cur = next;
+            }
+            if !accounted {
+                return None;
+            }
+        }
+        // Commit: consume the record and adopt its segment as the live
+        // stack. The record keeps existing until the caller's handle drops,
+        // but it is poisoned (and releases its buffer handle) so a buggy
+        // second reinstatement cannot read slots live execution now owns.
+        let link = {
+            let mut s = head.0.borrow_mut();
+            s.consumed = true;
+            s.size = 0;
+            s.buf = Rc::new(RefCell::new(Vec::new().into_boxed_slice()));
+            s.link.take()
+        };
+        let old = std::mem::replace(&mut self.buf, head_buf);
+        if !Rc::ptr_eq(&old, &self.buf) {
+            self.alloc.retire(old);
+        }
+        self.base = head_base;
+        self.end = buf_len;
+        self.fp = new_fp;
+        self.link = link;
+        self.metrics.reinstates_relinked += 1;
+        self.metrics.slots_copy_avoided += size as u64;
+        Some(ReturnAddress::Code(ra))
+    }
+
+    /// Reinstatement of an unwrapped (never one-shot-wrapped) continuation.
+    ///
+    /// `owned` declares that the caller's handle dies with this call — it
+    /// is a one-shot inner just taken out of its wrapper, or the underflow
+    /// handler's own link — which is what entitles the relink fast path to
+    /// consume the record. A borrowed multi-shot handle may legally be
+    /// reinstated again later *even when it is the only live handle* (the
+    /// caller's binding is that one handle and survives the call), so it
+    /// always takes the bounded-copy path.
+    fn reinstate_resolved(
+        &mut self,
+        k: &Continuation<S>,
+        owned: bool,
+    ) -> Result<ReturnAddress, StackError> {
+        self.metrics.reinstatements += 1;
+        if k.is_exit() {
+            self.buf.borrow_mut()[self.base] = S::from_return_address(ReturnAddress::Exit);
+            self.fp = self.base;
+            self.link = None;
+            return Ok(ReturnAddress::Exit);
+        }
+        if owned {
+            // Unshared owned chain: relink instead of copying.
+            if let Some(ra) = self.try_relink(k) {
+                return Ok(ra);
+            }
+        }
+        // Skip through empty ablation records (size 0) to the first real
+        // segment — linear in the chain, which is the ablation's point.
+        let mut resolved = k.clone();
+        loop {
+            let Some(sk) = resolved.repr().as_any().downcast_ref::<SegKont<S>>() else {
+                return Err(StackError::ForeignContinuation { strategy: "segmented" });
+            };
+            let sealed = sk.0.borrow();
+            if sealed.consumed {
+                // A relink consumed this record; reinstating it again
+                // would read slots live execution now owns.
+                return Err(StackError::OneShotReused);
+            }
+            if sealed.size > 0 {
+                break;
+            }
+            match &sealed.link {
+                Some(inner) => {
+                    let inner = inner.clone();
+                    drop(sealed);
+                    resolved = inner;
+                    if resolved.is_exit() {
+                        drop(resolved);
+                        self.buf.borrow_mut()[self.base] =
+                            S::from_return_address(ReturnAddress::Exit);
+                        self.fp = self.base;
+                        self.link = None;
+                        return Ok(ReturnAddress::Exit);
+                    }
+                }
+                None => {
+                    drop(sealed);
+                    self.buf.borrow_mut()[self.base] = S::from_return_address(ReturnAddress::Exit);
+                    self.fp = self.base;
+                    self.link = None;
+                    return Ok(ReturnAddress::Exit);
+                }
+            }
+        }
+        let k = &resolved;
+        let kont = k
+            .repr()
+            .as_any()
+            .downcast_ref::<SegKont<S>>()
+            .ok_or(StackError::ForeignContinuation { strategy: "segmented" })?;
+        self.maybe_split(kont);
+        let (src_buf, src_base, size, ra, klink) = {
+            let s = kont.0.borrow();
+            (s.buf.clone(), s.base, s.size, s.ra, s.link.clone())
+        };
+        if self.base + size + self.cfg.esp_reserve() > self.end {
+            let newbuf = self.alloc.alloc(size + self.cfg.esp_reserve(), &mut self.metrics)?;
+            let newlen = newbuf.borrow().len();
+            let old = std::mem::replace(&mut self.buf, newbuf);
+            self.alloc.retire(old);
+            self.base = 0;
+            self.end = newlen;
+        }
+        if Rc::ptr_eq(&src_buf, &self.buf) {
+            // The saved segment lives below the current base in the very
+            // same buffer (capture never copied it out); the regions are
+            // disjoint by construction.
+            debug_assert!(src_base + size <= self.base);
+            let mut b = self.buf.borrow_mut();
+            for i in 0..size {
+                b[self.base + i] = b[src_base + i].clone();
+            }
+        } else {
+            let srcb = src_buf.borrow();
+            let mut b = self.buf.borrow_mut();
+            for i in 0..size {
+                b[self.base + i] = srcb[src_base + i].clone();
+            }
+        }
+        self.metrics.slots_copied += size as u64;
+        self.fp = self.base + size - self.code.displacement(ra);
+        self.link = klink;
+        Ok(ReturnAddress::Code(ra))
     }
 
     /// Audits the paper-level structural invariants of the whole machine
@@ -316,6 +556,16 @@ impl<S: StackSlot> SegmentedStack<S> {
                     buf.len()
                 ));
             }
+            // Relinking adopts foreign-length buffers, so the machine-wide
+            // `end == buffer length` identity must be re-established there;
+            // check it holds everywhere.
+            if self.end != buf.len() {
+                return Err(format!(
+                    "segment end {} disagrees with buffer length {}",
+                    self.end,
+                    buf.len()
+                ));
+            }
             if self.fp + bound > self.end {
                 return Err(format!(
                     "overflow reserve exhausted: fp={} + frame_bound={} > end={}",
@@ -339,6 +589,11 @@ impl<S: StackSlot> SegmentedStack<S> {
             };
             let next = {
                 let s = sk.0.borrow();
+                if s.consumed {
+                    return Err(format!(
+                        "record {depth} was consumed by a relink but is still reachable"
+                    ));
+                }
                 let sbuf = s.buf.borrow();
                 if s.base + s.size > sbuf.len() {
                     return Err(format!(
@@ -517,14 +772,23 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
                 debug_assert_eq!(self.fp, self.base, "underflow handler off the segment base");
                 self.metrics.underflows += 1;
                 let k = self.link.take().expect("underflow with no linked continuation");
+                // The taken link is owned: it dies at the end of this arm,
+                // so the relink fast path may consume the record.
+                let result = self.reinstate_resolved(&k, true);
                 // An underflow consumes its record; if this was the last
                 // reference to the record's buffer, salvage it for reuse.
-                let salvage = k
-                    .repr()
-                    .as_any()
-                    .downcast_ref::<SegKont<S>>()
-                    .map(|sk| sk.0.borrow().buf.clone());
-                let result = self.reinstate(&k);
+                // The clone is taken only *after* reinstating so it cannot
+                // defeat the relink fast path's buffer accounting, and a
+                // relinked record needs no salvage: its buffer *became*
+                // the live segment.
+                let salvage = k.repr().as_any().downcast_ref::<SegKont<S>>().and_then(|sk| {
+                    let s = sk.0.borrow();
+                    if s.consumed {
+                        None
+                    } else {
+                        Some(s.buf.clone())
+                    }
+                });
                 drop(k);
                 if let Some(buf) = salvage {
                     if !Rc::ptr_eq(&buf, &self.buf) {
@@ -558,6 +822,7 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
                 size: 0,
                 ra: EMPTY_RECORD_RA,
                 link: self.link.take(),
+                consumed: false,
             };
             self.metrics.stack_records_allocated += 1;
             let k = Continuation::from_repr(Rc::new(SegKont(RefCell::new(sealed))));
@@ -575,6 +840,7 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
             size: self.fp - self.base,
             ra: live_ra,
             link: self.link.take(),
+            consumed: false,
         };
         self.metrics.stack_records_allocated += 1;
         let k = Continuation::from_repr(Rc::new(SegKont(RefCell::new(sealed))));
@@ -585,86 +851,20 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
     }
 
     fn reinstate(&mut self, k: &Continuation<S>) -> Result<ReturnAddress, StackError> {
-        self.metrics.reinstatements += 1;
-        if k.is_exit() {
-            self.buf.borrow_mut()[self.base] = S::from_return_address(ReturnAddress::Exit);
-            self.fp = self.base;
-            self.link = None;
-            return Ok(ReturnAddress::Exit);
-        }
-        // Skip through empty ablation records (size 0) to the first real
-        // segment — linear in the chain, which is the ablation's point.
-        let mut resolved = k.clone();
-        loop {
-            let Some(sk) = resolved.repr().as_any().downcast_ref::<SegKont<S>>() else {
-                return Err(StackError::ForeignContinuation { strategy: "segmented" });
-            };
-            let sealed = sk.0.borrow();
-            if sealed.size > 0 {
-                break;
+        // `call/1cc`: take the inner continuation out of a one-shot
+        // wrapper. A spent wrapper errors before any state changes. The
+        // taken inner is *owned*: by the one-shot contract a second
+        // reinstatement must fail anyway, so the record may be consumed.
+        let taken;
+        let (k, owned) = match k.unwrap_one_shot() {
+            None => (k, false),
+            Some(Err(e)) => return Err(e),
+            Some(Ok(inner)) => {
+                taken = inner;
+                (&taken, true)
             }
-            match &sealed.link {
-                Some(inner) => {
-                    let inner = inner.clone();
-                    drop(sealed);
-                    resolved = inner;
-                    if resolved.is_exit() {
-                        drop(resolved);
-                        self.buf.borrow_mut()[self.base] =
-                            S::from_return_address(ReturnAddress::Exit);
-                        self.fp = self.base;
-                        self.link = None;
-                        return Ok(ReturnAddress::Exit);
-                    }
-                }
-                None => {
-                    drop(sealed);
-                    self.buf.borrow_mut()[self.base] = S::from_return_address(ReturnAddress::Exit);
-                    self.fp = self.base;
-                    self.link = None;
-                    return Ok(ReturnAddress::Exit);
-                }
-            }
-        }
-        let k = &resolved;
-        let kont = k
-            .repr()
-            .as_any()
-            .downcast_ref::<SegKont<S>>()
-            .ok_or(StackError::ForeignContinuation { strategy: "segmented" })?;
-        self.maybe_split(kont);
-        let (src_buf, src_base, size, ra, klink) = {
-            let s = kont.0.borrow();
-            (s.buf.clone(), s.base, s.size, s.ra, s.link.clone())
         };
-        if self.base + size + self.cfg.esp_reserve() > self.end {
-            let newbuf = self.alloc.alloc(size + self.cfg.esp_reserve(), &mut self.metrics)?;
-            let newlen = newbuf.borrow().len();
-            let old = std::mem::replace(&mut self.buf, newbuf);
-            self.alloc.retire(old);
-            self.base = 0;
-            self.end = newlen;
-        }
-        if Rc::ptr_eq(&src_buf, &self.buf) {
-            // The saved segment lives below the current base in the very
-            // same buffer (capture never copied it out); the regions are
-            // disjoint by construction.
-            debug_assert!(src_base + size <= self.base);
-            let mut b = self.buf.borrow_mut();
-            for i in 0..size {
-                b[self.base + i] = b[src_base + i].clone();
-            }
-        } else {
-            let srcb = src_buf.borrow();
-            let mut b = self.buf.borrow_mut();
-            for i in 0..size {
-                b[self.base + i] = srcb[src_base + i].clone();
-            }
-        }
-        self.metrics.slots_copied += size as u64;
-        self.fp = self.base + size - self.code.displacement(ra);
-        self.link = klink;
-        Ok(ReturnAddress::Code(ra))
+        self.reinstate_resolved(k, owned)
     }
 
     fn metrics(&self) -> &Metrics {
@@ -1153,6 +1353,127 @@ mod tests {
         stack.set(0, TestSlot::Ra(ReturnAddress::Underflow));
         let err = stack.audit_invariants().unwrap_err();
         assert!(err.contains("underflow"), "{err}");
+    }
+
+    #[test]
+    fn dropped_capture_underflows_by_relink_in_same_buffer() {
+        let (code, mut stack) = setup(small_cfg());
+        let ra1 = call1(&mut stack, &code, 4, 1, true);
+        let ra2 = call1(&mut stack, &code, 4, 2, true);
+        // Capture and immediately drop the handle: only the machine's link
+        // still references the record, so the underflow may consume it.
+        drop(stack.capture());
+        let copied = stack.metrics().slots_copied;
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra2));
+        assert_eq!(stack.metrics().slots_copied, copied, "relink copies nothing");
+        assert_eq!(stack.metrics().reinstates_relinked, 1);
+        assert_eq!(stack.metrics().slots_copy_avoided, 8);
+        stack.audit_invariants().unwrap();
+        assert_eq!(stack.get(1), TestSlot::Int(1), "caller frame contents intact");
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ra1));
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+    }
+
+    #[test]
+    fn underflow_after_overflow_relinks_without_copying() {
+        let (code, mut stack) = setup(small_cfg());
+        while stack.metrics().overflows == 0 {
+            call1(&mut stack, &code, 8, 7, true);
+        }
+        // The overflow moved the partial frame; from here the unwind back
+        // into the sealed segment must not copy at all.
+        let copied = stack.metrics().slots_copied;
+        while stack.metrics().underflows == 0 {
+            stack.ret().unwrap();
+        }
+        assert_eq!(stack.metrics().slots_copied, copied, "underflow relinked, no copy");
+        assert_eq!(stack.metrics().reinstates_relinked, 1);
+        assert!(stack.metrics().slots_copy_avoided > 0);
+        stack.audit_invariants().unwrap();
+        while stack.ret().unwrap() != ReturnAddress::Exit {}
+    }
+
+    #[test]
+    fn one_shot_reinstate_relinks_across_buffers() {
+        let (code, mut stack) = setup(small_cfg());
+        let mut ras = Vec::new();
+        for i in 0..10 {
+            ras.push(call1(&mut stack, &code, 4, i, true));
+        }
+        let k = stack.capture_one_shot();
+        assert!(k.is_one_shot());
+        assert_eq!(k.retained_slots(), 40);
+        // Reset drops the machine's handle on the inner record; only the
+        // wrapper remains, so the reinstatement may adopt the old buffer.
+        stack.reset();
+        let copied = stack.metrics().slots_copied;
+        assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Code(ras[9]));
+        assert_eq!(stack.metrics().slots_copied, copied, "relink copies nothing");
+        assert_eq!(stack.metrics().reinstates_relinked, 1);
+        assert_eq!(stack.metrics().slots_copy_avoided, 40);
+        stack.audit_invariants().unwrap();
+        assert_eq!(stack.get(1), TestSlot::Int(8), "resumed on the topmost sealed frame");
+        // The adopted chain unwinds exactly like a copied one would.
+        for i in (0..9).rev() {
+            assert_eq!(stack.ret().unwrap(), ReturnAddress::Code(ras[i]), "return {i}");
+        }
+        assert_eq!(stack.ret().unwrap(), ReturnAddress::Exit);
+        // The shot is spent: reinstating again is an error, not corruption.
+        assert_eq!(stack.reinstate(&k).unwrap_err(), StackError::OneShotReused);
+        assert!(k.one_shot_consumed());
+    }
+
+    #[test]
+    fn one_shot_with_live_link_falls_back_to_copy() {
+        let (code, mut stack) = setup(small_cfg());
+        let mut ras = Vec::new();
+        for i in 0..5 {
+            ras.push(call1(&mut stack, &code, 4, i, true));
+        }
+        let k = stack.capture_one_shot();
+        // The machine's own link still references the inner record, so the
+        // fast path must decline; the copy path still consumes the shot.
+        let copied = stack.metrics().slots_copied;
+        assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Code(ras[4]));
+        assert!(stack.metrics().slots_copied > copied, "shared inner must copy");
+        assert_eq!(stack.metrics().reinstates_relinked, 0);
+        stack.audit_invariants().unwrap();
+        assert_eq!(stack.reinstate(&k).unwrap_err(), StackError::OneShotReused);
+    }
+
+    #[test]
+    fn one_shot_of_exit_continuation_reinstates_once() {
+        let (_code, mut stack) = setup(small_cfg());
+        let k = stack.capture_one_shot();
+        assert!(k.is_one_shot());
+        assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Exit);
+        assert_eq!(stack.reinstate(&k).unwrap_err(), StackError::OneShotReused);
+    }
+
+    #[test]
+    fn relink_preserves_chained_multi_shot_records_below() {
+        let (code, mut stack) = setup(small_cfg());
+        for i in 0..4 {
+            call1(&mut stack, &code, 4, i, true);
+        }
+        let pinned = stack.capture(); // multi-shot record below, user-held
+        let mut ras = Vec::new();
+        for i in 0..4 {
+            ras.push(call1(&mut stack, &code, 4, 10 + i, true));
+        }
+        let k = stack.capture_one_shot();
+        stack.reset();
+        assert_eq!(stack.reinstate(&k).unwrap(), ReturnAddress::Code(ras[3]));
+        stack.audit_invariants().unwrap();
+        // Unwind through the relinked region and straight through the
+        // pinned record's region; both must be intact.
+        while stack.ret().unwrap() != ReturnAddress::Exit {}
+        // The pinned multi-shot continuation still reinstates by copying.
+        let before = stack.metrics().slots_copied;
+        stack.reinstate(&pinned).unwrap();
+        assert!(stack.metrics().slots_copied > before);
+        assert_eq!(stack.get(1), TestSlot::Int(2));
+        stack.audit_invariants().unwrap();
     }
 
     #[test]

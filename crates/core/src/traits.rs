@@ -109,6 +109,22 @@ pub trait ControlStack<S: StackSlot> {
     /// part of the continuation.
     fn capture(&mut self) -> Continuation<S>;
 
+    /// Captures the current continuation as a *one-shot* continuation
+    /// (`call/1cc`): the continuation object may be used to reinstate at
+    /// most once; a second reinstatement through it fails with
+    /// [`StackError::OneShotReused`]. Returning through the capture point
+    /// normally (without invoking the object) does not consume the shot.
+    ///
+    /// The default implementation wraps [`capture`](ControlStack::capture)
+    /// in [`Continuation::one_shot`], which is correct for every strategy.
+    /// The restriction is what it buys: clones circulate the *wrapper*, so
+    /// the underlying record usually stays uniquely referenced and the
+    /// segmented strategy can reinstate it with a zero-copy relink instead
+    /// of the bounded copy.
+    fn capture_one_shot(&mut self) -> Continuation<S> {
+        Continuation::one_shot(self.capture())
+    }
+
     /// Reinstates a continuation, replacing the current control state. The
     /// returned address is where execution resumes
     /// ([`ReturnAddress::Exit`] if the exit continuation was invoked).

@@ -65,8 +65,9 @@ fn audit_loop(
         let m = stack.metrics();
         let copied = m.slots_copied - before.slots_copied;
         let underflows = m.underflows - before.underflows;
+        let relinked = m.reinstates_relinked - before.reinstates_relinked;
         match op {
-            Op::Capture => {
+            Op::Capture | Op::CaptureOneShot => {
                 if copied != 0 {
                     return fail(format!("capture copied {copied} slots; must copy none"));
                 }
@@ -90,6 +91,15 @@ fn audit_loop(
                 }
             }
             Op::Reinstate { .. } => {
+                // The relink fast path is zero-copy by definition: a
+                // reinstatement either relinks (no slots move) or takes
+                // the bounded copy path — never both.
+                if relinked > 0 && copied != 0 {
+                    return fail(format!("relinked reinstatement still copied {copied} slots"));
+                }
+                if relinked > 1 {
+                    return fail(format!("one reinstate relinked {relinked} times"));
+                }
                 if copied > reinstate_bound {
                     return fail(format!(
                         "reinstate copied {copied} slots; bound is {reinstate_bound}"
@@ -97,6 +107,11 @@ fn audit_loop(
                 }
             }
             Op::Ret => {
+                if relinked > 0 && copied != 0 {
+                    return fail(format!(
+                        "relinked underflow reinstatement still copied {copied} slots"
+                    ));
+                }
                 if underflows > 0 && copied > reinstate_bound {
                     return fail(format!(
                         "underflow reinstatement copied {copied} slots; bound is {reinstate_bound}"

@@ -14,7 +14,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 use segstack_baselines::Strategy;
-use segstack_core::{CodeAddr, Continuation, ControlStack, ReturnAddress, TestCode, TestSlot};
+use segstack_core::{
+    CodeAddr, Continuation, ControlStack, ReturnAddress, StackError, TestCode, TestSlot,
+};
 
 use crate::audit::run_audited;
 use crate::oracle::Oracle;
@@ -47,6 +49,9 @@ pub enum Obs {
     Resumed(ReturnAddress),
     /// `reinstate` with nothing captured yet: a no-op on every machine.
     Skipped,
+    /// `reinstate` of an already-consumed one-shot continuation failed
+    /// with [`StackError::OneShotReused`], leaving the machine untouched.
+    OneShotReuse,
     /// The observable return-address spine.
     Backtrace(Vec<CodeAddr>),
 }
@@ -137,8 +142,11 @@ pub fn apply_op(
             Obs::SetOk
         }
         Op::Get { i } => Obs::Got(stack.get(*i)),
-        Op::Capture => {
-            let k = stack.capture();
+        Op::Capture | Op::CaptureOneShot => {
+            let k = match op {
+                Op::CaptureOneShot => stack.capture_one_shot(),
+                _ => stack.capture(),
+            };
             let slot = *captures % 8;
             if slot < saved.len() {
                 saved[slot] = k;
@@ -153,7 +161,11 @@ pub fn apply_op(
                 Obs::Skipped
             } else {
                 let kont = saved[k % saved.len()].clone();
-                Obs::Resumed(stack.reinstate(&kont).expect("same-strategy reinstate cannot fail"))
+                match stack.reinstate(&kont) {
+                    Ok(ra) => Obs::Resumed(ra),
+                    Err(StackError::OneShotReused) => Obs::OneShotReuse,
+                    Err(e) => panic!("same-strategy reinstate cannot fail: {e}"),
+                }
             }
         }
         Op::Backtrace { limit } => Obs::Backtrace(stack.backtrace(*limit)),
@@ -235,7 +247,8 @@ pub fn run_oracle(spec: &TraceSpec, compiled: &CompiledTrace) -> Result<RunLog, 
         let rets = spec.ops.iter().filter(|o| matches!(o, Op::Ret)).count() as u64
             + leafs
             + drained.len() as u64;
-        let caps = spec.ops.iter().filter(|o| matches!(o, Op::Capture)).count() as u64;
+        let caps = spec.ops.iter().filter(|o| matches!(o, Op::Capture | Op::CaptureOneShot)).count()
+            as u64;
         RunLog { obs, drain: drained, counters: [calls, tails, rets, caps] }
     }))
     .map_err(|e| {

@@ -32,6 +32,18 @@ enum SavedKont {
     Deep { image: Vec<TestSlot>, valid: Vec<u128>, resume: CodeAddr },
 }
 
+/// A ring entry: the saved continuation plus its one-shot bookkeeping.
+/// Every strategy consumes a one-shot exactly on a successful explicit
+/// reinstatement through the continuation object — returning through the
+/// capture point normally does not consume the shot — so the oracle can
+/// predict the [`Obs::OneShotReuse`] error with two booleans.
+#[derive(Clone)]
+struct SavedEntry {
+    kont: SavedKont,
+    one_shot: bool,
+    consumed: bool,
+}
+
 /// The reference machine. Observationally equivalent to every
 /// [`ControlStack`](segstack_core::ControlStack) strategy by construction.
 pub struct Oracle {
@@ -43,7 +55,7 @@ pub struct Oracle {
     /// set means slot `fp + i` of that frame holds a value every strategy
     /// reproduces. The live frame's mask is `valid.last()`.
     valid: Vec<u128>,
-    saved: Vec<SavedKont>,
+    saved: Vec<SavedEntry>,
     captures: usize,
 }
 
@@ -110,6 +122,37 @@ impl Oracle {
         }
     }
 
+    fn do_capture(&mut self, one_shot: bool) -> Obs {
+        // A frame's guaranteed extent is one frame bound: capture
+        // slides (cache) or migrates (hybrid, incremental) at most
+        // that much of the live frame, so staging slots above the
+        // bound do not survive.
+        let fb = self.frame_bound;
+        *self.live_mask() &= (1u128 << fb) - 1;
+        let kont = if self.fp == 0 {
+            SavedKont::Exit
+        } else {
+            let resume = match self.read(self.fp) {
+                TestSlot::Ra(ReturnAddress::Code(r)) => r,
+                other => panic!("oracle live frame base holds {other:?}"),
+            };
+            SavedKont::Deep {
+                image: self.stack[..self.fp].to_vec(),
+                valid: self.valid[..self.valid.len() - 1].to_vec(),
+                resume,
+            }
+        };
+        let entry = SavedEntry { kont, one_shot, consumed: false };
+        let slot = self.captures % 8;
+        if slot < self.saved.len() {
+            self.saved[slot] = entry;
+        } else {
+            self.saved.push(entry);
+        }
+        self.captures += 1;
+        Obs::Captured
+    }
+
     /// Executes one op, returning the predicted observation.
     ///
     /// `ra` is the pre-assigned return address for `Call`/`LeafCall` ops
@@ -155,40 +198,23 @@ impl Oracle {
                     Obs::GotAny
                 }
             }
-            Op::Capture => {
-                // A frame's guaranteed extent is one frame bound: capture
-                // slides (cache) or migrates (hybrid, incremental) at most
-                // that much of the live frame, so staging slots above the
-                // bound do not survive.
-                let fb = self.frame_bound;
-                *self.live_mask() &= (1u128 << fb) - 1;
-                let kont = if self.fp == 0 {
-                    SavedKont::Exit
-                } else {
-                    let resume = match self.read(self.fp) {
-                        TestSlot::Ra(ReturnAddress::Code(r)) => r,
-                        other => panic!("oracle live frame base holds {other:?}"),
-                    };
-                    SavedKont::Deep {
-                        image: self.stack[..self.fp].to_vec(),
-                        valid: self.valid[..self.valid.len() - 1].to_vec(),
-                        resume,
-                    }
-                };
-                let slot = self.captures % 8;
-                if slot < self.saved.len() {
-                    self.saved[slot] = kont;
-                } else {
-                    self.saved.push(kont);
-                }
-                self.captures += 1;
-                Obs::Captured
-            }
+            Op::Capture => self.do_capture(false),
+            Op::CaptureOneShot => self.do_capture(true),
             Op::Reinstate { k } => {
                 if self.saved.is_empty() {
                     return Obs::Skipped;
                 }
-                match self.saved[k % self.saved.len()].clone() {
+                let idx = k % self.saved.len();
+                let entry = self.saved[idx].clone();
+                if entry.one_shot && entry.consumed {
+                    // The strategies fail before touching any control
+                    // state, so the oracle state stays put too.
+                    return Obs::OneShotReuse;
+                }
+                if entry.one_shot {
+                    self.saved[idx].consumed = true;
+                }
+                match entry.kont {
                     SavedKont::Exit => {
                         self.fp = 0;
                         self.stack.clear();

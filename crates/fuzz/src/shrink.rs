@@ -77,6 +77,10 @@ fn simplify(op: &Op) -> Vec<Op> {
         Op::Get { .. } => vec![Op::Get { i: 1 }],
         Op::Reinstate { .. } => vec![Op::Reinstate { k: 0 }],
         Op::Backtrace { .. } => vec![Op::Backtrace { limit: 1 }],
+        // A one-shot capture is "more" than a plain capture (it adds the
+        // reuse failure mode); try downgrading it when the failure does
+        // not depend on one-shot semantics.
+        Op::CaptureOneShot => vec![Op::Capture],
         Op::Ret | Op::Capture => vec![],
     }
 }
@@ -86,13 +90,15 @@ mod tests {
     use super::*;
     use crate::trace::TraceSpec;
 
-    /// A synthetic failure: "contains a Capture and, later, a Reinstate".
-    /// Shrinking must find the minimal two-op witness.
+    /// A synthetic failure: "contains a capture (either kind) and, later,
+    /// a Reinstate". Shrinking must find the minimal two-op witness — and
+    /// the per-op pass downgrades a surviving `CaptureOneShot` to the
+    /// simpler `Capture`.
     #[test]
     fn shrinks_to_the_minimal_witness() {
         let spec = TraceSpec::generate(7, 200);
         let failing = |t: &TraceSpec| {
-            let cap = t.ops.iter().position(|o| matches!(o, Op::Capture));
+            let cap = t.ops.iter().position(|o| matches!(o, Op::Capture | Op::CaptureOneShot));
             match cap {
                 Some(c) => t.ops[c..].iter().any(|o| matches!(o, Op::Reinstate { .. })),
                 None => false,

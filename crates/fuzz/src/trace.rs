@@ -70,6 +70,11 @@ pub enum Op {
     },
     /// `capture()`, saving the continuation into a ring of eight.
     Capture,
+    /// `capture_one_shot()`, saving the one-shot continuation into the same
+    /// ring. Reinstating it a second time must fail with
+    /// [`StackError::OneShotReused`](segstack_core::StackError::OneShotReused)
+    /// on every strategy — and leave the machine state untouched.
+    CaptureOneShot,
     /// `reinstate` the `k % saved.len()`-th saved continuation (skipped as
     /// a no-op while nothing has been captured yet).
     Reinstate {
@@ -125,9 +130,12 @@ impl TraceSpec {
 
         let mut ops = Vec::with_capacity(max_ops);
         // Logical frame depth, tracked so return bursts can be sized to
-        // punch through every sealed record down to the exit.
+        // punch through every sealed record down to the exit. The ring
+        // mirror carries `(depth, one_shot, consumed)` so reinstates of
+        // already-consumed one-shots (which are errors, not jumps) do not
+        // perturb the depth estimate.
         let mut depth: usize = 0;
-        let mut saved_depths: Vec<usize> = Vec::new();
+        let mut saved: Vec<(usize, bool, bool)> = Vec::new();
         let mut captures: usize = 0;
         while ops.len() < max_ops {
             // Occasionally emit a burst instead of a single op.
@@ -172,21 +180,30 @@ impl TraceSpec {
                     ops.push(Op::Get { i: rng.gen_range(1, 2 * fb as u64) as usize });
                 }
                 84..=89 => {
-                    ops.push(Op::Capture);
+                    let one_shot = rng.gen_bool();
+                    ops.push(if one_shot { Op::CaptureOneShot } else { Op::Capture });
                     // Mirror the driver's ring-of-eight bookkeeping.
                     let slot = captures % 8;
-                    if slot < saved_depths.len() {
-                        saved_depths[slot] = depth;
+                    if slot < saved.len() {
+                        saved[slot] = (depth, one_shot, false);
                     } else {
-                        saved_depths.push(depth);
+                        saved.push((depth, one_shot, false));
                     }
                     captures += 1;
                 }
                 90..=95 => {
                     let k = rng.gen_range(0, 64) as usize;
                     ops.push(Op::Reinstate { k });
-                    if !saved_depths.is_empty() {
-                        depth = saved_depths[k % saved_depths.len()];
+                    if !saved.is_empty() {
+                        let len = saved.len();
+                        let entry = &mut saved[k % len];
+                        // A consumed one-shot errors instead of jumping.
+                        if !(entry.1 && entry.2) {
+                            depth = entry.0;
+                            if entry.1 {
+                                entry.2 = true;
+                            }
+                        }
                     }
                 }
                 _ => {
@@ -249,6 +266,19 @@ mod tests {
     }
 
     #[test]
+    fn both_capture_kinds_and_reuse_candidates_are_generated() {
+        let mut plain = 0usize;
+        let mut one_shot = 0usize;
+        for seed in 0..50 {
+            let t = TraceSpec::generate(seed, 256);
+            plain += t.ops.iter().filter(|o| matches!(o, Op::Capture)).count();
+            one_shot += t.ops.iter().filter(|o| matches!(o, Op::CaptureOneShot)).count();
+        }
+        assert!(plain > 0, "multi-shot captures vanished from the grammar");
+        assert!(one_shot > 0, "one-shot captures vanished from the grammar");
+    }
+
+    #[test]
     fn generated_ops_respect_the_frame_bound() {
         for seed in 0..50 {
             let t = TraceSpec::generate(seed, 128);
@@ -268,7 +298,7 @@ mod tests {
                         assert!((1..2 * fb).contains(i), "seed {seed}: {op:?}");
                     }
                     Op::Backtrace { limit } => assert!(*limit >= 1),
-                    Op::Ret | Op::Capture | Op::Reinstate { .. } => {}
+                    Op::Ret | Op::Capture | Op::CaptureOneShot | Op::Reinstate { .. } => {}
                 }
             }
         }

@@ -3,7 +3,7 @@
 //! shrinker's contract on a synthetic failure.
 
 use segstack_baselines::Strategy;
-use segstack_fuzz::driver::{compile, run_oracle, run_strategy};
+use segstack_fuzz::driver::{compile, run_oracle, run_strategy, Obs};
 use segstack_fuzz::{fuzz_trace, shrink, Op, TraceSpec};
 
 /// A seed band disjoint from the ones the differential suite and the CI
@@ -38,6 +38,55 @@ fn replay_is_fully_deterministic() {
             assert_eq!(ra, rb, "seed {seed}: {strategy} runs diverge across replays");
         }
     }
+}
+
+/// The canonical one-shot witness, hand-built: capture one-shot, jump
+/// through it once (fine), jump again (every strategy must fail with
+/// `OneShotReused` and leave its state untouched — the trailing ops and
+/// drain check that). Runs through the full differential + audit stack.
+#[test]
+fn one_shot_reuse_is_agreed_on_by_every_strategy() {
+    let spec = TraceSpec {
+        seed: 0,
+        segment_slots: 48,
+        frame_bound: 8,
+        copy_bound: 8,
+        ops: vec![
+            Op::Call { d: 2, nargs: 1, args: vec![5] },
+            Op::CaptureOneShot,
+            Op::Reinstate { k: 0 },
+            Op::Reinstate { k: 0 },
+            Op::Set { i: 3, v: 11 },
+            Op::Get { i: 3 },
+            Op::Ret,
+        ],
+    };
+    fuzz_trace(&spec).unwrap();
+    let compiled = compile(&spec);
+    let reference = run_oracle(&spec, &compiled).unwrap();
+    assert_eq!(
+        reference.obs[2],
+        Obs::Resumed(segstack_core::ReturnAddress::Code(compiled.ras[0].unwrap()))
+    );
+    assert_eq!(reference.obs[3], Obs::OneShotReuse);
+}
+
+/// A seed band with one-shot ops enabled stays clean, and the band
+/// actually exercises the reuse-failure path (otherwise the new grammar
+/// weight silently stopped reaching it).
+#[test]
+fn one_shot_seed_band_runs_clean_and_hits_reuse() {
+    let mut reuses = 0usize;
+    for seed in 710_000..710_300u64 {
+        let spec = TraceSpec::generate(seed, 64);
+        if let Err(e) = fuzz_trace(&spec) {
+            panic!("replay with `cargo run -p segstack-fuzz -- --seed {seed} --ops 64`:\n{e}");
+        }
+        let compiled = compile(&spec);
+        let reference = run_oracle(&spec, &compiled).unwrap();
+        reuses += reference.obs.iter().filter(|o| matches!(o, Obs::OneShotReuse)).count();
+    }
+    assert!(reuses > 0, "no trace in the band reused a one-shot continuation");
 }
 
 /// The shrinker's output still fails the predicate and is never longer

@@ -20,6 +20,7 @@ use std::fmt;
 use crate::code::{Chunk, CodeStore, Instr};
 use crate::error::SchemeError;
 use crate::expand::Expander;
+use crate::primitives::PrimKind;
 use crate::resolve::{resolve_toplevel, Capture, RExpr, RLambda, PARAM_BASE};
 use crate::value::Value;
 
@@ -46,11 +47,28 @@ pub struct CompileOptions {
     /// Maximum frame size in slots; compilation fails beyond it. Should
     /// match the control stack's configured frame bound.
     pub frame_bound: usize,
+    /// Under [`CheckPolicy::Elide`], also skip the overflow check for
+    /// direct applications of lambdas whose bodies call nothing but
+    /// globals bound (at compile time) to ordinary primitives. Primitives
+    /// complete without pushing a Scheme frame, so such a body stays
+    /// within the two-frame reserve exactly like a true leaf.
+    ///
+    /// The flag's assumption is that those globals are never rebound to
+    /// Scheme procedures. Even if they are, safety degrades gracefully:
+    /// the rebound procedure's own call sites still carry their checks, so
+    /// only one unchecked frame can land in the reserve — but the elision
+    /// is no longer justified by the compile-time analysis, hence the
+    /// opt-in default of `false`.
+    pub stable_primitive_bindings: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { policy: CheckPolicy::default(), frame_bound: 64 }
+        CompileOptions {
+            policy: CheckPolicy::default(),
+            frame_bound: 64,
+            stable_primitive_bindings: false,
+        }
     }
 }
 
@@ -69,7 +87,8 @@ pub fn compile_toplevel(
 ) -> Result<u32, SchemeError> {
     let ast = expander.expand_toplevel(datum)?;
     let rexpr = resolve_toplevel(&ast, globals)?;
-    let mut g = Gen { store, opts, instrs: Vec::new(), consts: Vec::new(), max_stage: 1 };
+    let globals = &*globals;
+    let mut g = Gen { store, opts, globals, instrs: Vec::new(), consts: Vec::new(), max_stage: 1 };
     g.gen_tail(&rexpr, 1)?;
     let frame_slots = g.max_stage;
     let name = format!("toplevel-{}", store.len());
@@ -86,6 +105,9 @@ pub fn compile_toplevel(
 struct Gen<'a> {
     store: &'a CodeStore,
     opts: &'a CompileOptions,
+    /// Global bindings as of compilation time, consulted by the
+    /// `stable_primitive_bindings` check-elision analysis.
+    globals: &'a crate::code::Globals,
     instrs: Vec<Instr>,
     consts: Vec<Value>,
     max_stage: u16,
@@ -104,6 +126,7 @@ impl Gen<'_> {
         let mut g = Gen {
             store: self.store,
             opts: self.opts,
+            globals: self.globals,
             instrs: Vec::new(),
             consts: Vec::new(),
             max_stage: wm,
@@ -316,9 +339,51 @@ impl Gen<'_> {
             CheckPolicy::Always => true,
             CheckPolicy::Never => false,
             CheckPolicy::Elide => match op {
-                RExpr::Lambda(l) => !l.leaf,
+                RExpr::Lambda(l) => {
+                    !(l.leaf
+                        || (self.opts.stable_primitive_bindings && self.prim_leaf_body(&l.body)))
+                }
                 _ => true,
             },
+        }
+    }
+
+    /// The `stable_primitive_bindings` analysis: `e` performs no calls
+    /// other than direct applications of globals currently bound to
+    /// ordinary primitives. Primitives run to completion without pushing a
+    /// Scheme frame, so a body of this shape fits the two-frame reserve
+    /// exactly like a true leaf. Nested lambda *creation* is fine (their
+    /// bodies carry their own call-site checks); a nested lambda in
+    /// *operator* position is not, because that call would stack frames.
+    fn prim_leaf_body(&self, e: &RExpr) -> bool {
+        match e {
+            RExpr::Quote(_)
+            | RExpr::LocalRef(_)
+            | RExpr::LocalCellRef(_)
+            | RExpr::FreeRef(_)
+            | RExpr::FreeCellRef(_)
+            | RExpr::GlobalRef(_)
+            | RExpr::Lambda(_) => true,
+            RExpr::LocalCellSet(_, v)
+            | RExpr::FreeCellSet(_, v)
+            | RExpr::GlobalSet(_, v)
+            | RExpr::GlobalDef(_, v) => self.prim_leaf_body(v),
+            RExpr::If(c, t, f) => {
+                self.prim_leaf_body(c) && self.prim_leaf_body(t) && self.prim_leaf_body(f)
+            }
+            RExpr::Begin(es) => es.iter().all(|e| self.prim_leaf_body(e)),
+            RExpr::Call(op, args) => {
+                let prim_op = match op.as_ref() {
+                    RExpr::GlobalRef(g) => match self.globals.get(*g) {
+                        Ok(Value::Primitive(p)) => {
+                            matches!(crate::primitives::def_of(p).kind, PrimKind::Normal(_))
+                        }
+                        _ => false,
+                    },
+                    _ => false,
+                };
+                prim_op && args.iter().all(|a| self.prim_leaf_body(a))
+            }
         }
     }
 
@@ -361,7 +426,7 @@ mod tests {
         let store = CodeStore::new();
         let mut globals = Globals::new();
         let mut ex = Expander::new();
-        let opts = CompileOptions { policy, frame_bound: 64 };
+        let opts = CompileOptions { policy, ..CompileOptions::default() };
         let id = compile_toplevel(&read_one(src).unwrap(), &mut ex, &store, &mut globals, &opts)
             .unwrap();
         (store, globals, id)
@@ -483,6 +548,72 @@ mod tests {
     }
 
     #[test]
+    fn stable_primitive_bindings_elides_checks_for_prim_leaf_lets() {
+        // (let ((t 1)) (* t t)) expands to a direct lambda application whose
+        // body only calls a primitive. Plain Elide must keep the check (the
+        // body contains a call, so the lambda is not a leaf); with the
+        // stable-bindings promise the prim-leaf analysis removes it.
+        let src = "(g (let ((t 1)) (* t t)))";
+        for (stable, expect) in [(false, true), (true, false)] {
+            let store = CodeStore::new();
+            let mut globals = Globals::new();
+            crate::primitives::install(&mut globals);
+            let mut ex = Expander::new();
+            let opts = CompileOptions {
+                policy: CheckPolicy::Elide,
+                stable_primitive_bindings: stable,
+                ..CompileOptions::default()
+            };
+            let id =
+                compile_toplevel(&read_one(src).unwrap(), &mut ex, &store, &mut globals, &opts)
+                    .unwrap();
+            let c = store.chunk(id);
+            let checks: Vec<bool> = c
+                .instrs
+                .iter()
+                .filter_map(|i| match i {
+                    Instr::Call { check, .. } => Some(*check),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(checks, vec![expect], "stable={stable}");
+        }
+    }
+
+    #[test]
+    fn stable_primitive_bindings_keeps_checks_for_closure_calls() {
+        // The body calls `f`, a global *not* bound to a primitive, so the
+        // analysis must leave the check in place even with the flag on.
+        let store = CodeStore::new();
+        let mut globals = Globals::new();
+        crate::primitives::install(&mut globals);
+        let mut ex = Expander::new();
+        let opts = CompileOptions {
+            policy: CheckPolicy::Elide,
+            stable_primitive_bindings: true,
+            ..CompileOptions::default()
+        };
+        let id = compile_toplevel(
+            &read_one("(g (let ((t 1)) (f t)))").unwrap(),
+            &mut ex,
+            &store,
+            &mut globals,
+            &opts,
+        )
+        .unwrap();
+        let c = store.chunk(id);
+        let checks: Vec<bool> = c
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Call { check, .. } => Some(*check),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(checks, vec![true], "non-primitive callee keeps its check");
+    }
+
+    #[test]
     fn if_compiles_with_patched_jumps() {
         let (store, _, id) = compile("(if #t 1 2)");
         let c = store.chunk(id);
@@ -499,7 +630,7 @@ mod tests {
         let store = CodeStore::new();
         let mut globals = Globals::new();
         let mut ex = Expander::new();
-        let opts = CompileOptions { policy: CheckPolicy::Elide, frame_bound: 64 };
+        let opts = CompileOptions { policy: CheckPolicy::Elide, ..CompileOptions::default() };
         let err = compile_toplevel(
             &read_one(&format!("(f {args})")).unwrap(),
             &mut ex,

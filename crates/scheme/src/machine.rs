@@ -36,6 +36,7 @@ pub struct EngineBuilder {
     strategy: Strategy,
     config: Config,
     policy: CheckPolicy,
+    stable_primitive_bindings: bool,
     max_steps: Option<u64>,
     prelude: bool,
 }
@@ -46,6 +47,7 @@ impl Default for EngineBuilder {
             strategy: Strategy::Segmented,
             config: Config::default(),
             policy: CheckPolicy::default(),
+            stable_primitive_bindings: false,
             max_steps: None,
             prelude: true,
         }
@@ -69,6 +71,16 @@ impl EngineBuilder {
     /// Sets the overflow-check policy used by the compiler (experiment E8).
     pub fn check_policy(mut self, policy: CheckPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Promises the compiler that globals bound to primitives stay bound
+    /// to primitives, letting [`CheckPolicy::Elide`] also skip overflow
+    /// checks for direct applications of lambdas whose bodies only call
+    /// primitives (`let`-shaped code). See
+    /// [`CompileOptions::stable_primitive_bindings`].
+    pub fn stable_primitive_bindings(mut self, stable: bool) -> Self {
+        self.stable_primitive_bindings = stable;
         self
     }
 
@@ -98,7 +110,11 @@ impl EngineBuilder {
         let stack = self.strategy.build::<Value>(self.config.clone(), store.clone())?;
         let vm_opts =
             VmOptions { max_steps: self.max_steps, frame_bound: self.config.frame_bound() };
-        let copts = CompileOptions { policy: self.policy, frame_bound: self.config.frame_bound() };
+        let copts = CompileOptions {
+            policy: self.policy,
+            frame_bound: self.config.frame_bound(),
+            stable_primitive_bindings: self.stable_primitive_bindings,
+        };
         let mut engine = Engine {
             strategy: self.strategy,
             store,
@@ -487,6 +503,38 @@ mod tests {
         assert_eq!(eval("(call/cc (lambda (k) (+ 1 (k 41))))"), "41");
         assert_eq!(eval("(+ 1 (call/cc (lambda (k) 1)))"), "2");
         assert_eq!(eval("(+ 1 (call/cc (lambda (k) (k 1) 99)))"), "2");
+    }
+
+    #[test]
+    fn call_1cc_escape_and_one_shot_error() {
+        assert_eq!(eval("(call/1cc (lambda (k) (+ 1 (k 41))))"), "41");
+        assert_eq!(eval("(+ 1 (call/1cc (lambda (k) 1)))"), "2");
+        let mut e = engine();
+        e.eval("(define k #f)").unwrap();
+        assert_eq!(e.eval_to_string("(+ 1 (call/1cc (lambda (c) (set! k c) 1)))").unwrap(), "2");
+        assert_eq!(e.eval_to_string("(k 41)").unwrap(), "42");
+        let err = e.eval("(k 99)").unwrap_err();
+        assert!(err.to_string().contains("one-shot"), "{err}");
+    }
+
+    #[test]
+    fn call_1cc_cross_eval_reinstate_relinks() {
+        let mut e = engine();
+        e.eval("(define k #f)").unwrap();
+        e.eval("(+ 1 (call/1cc (lambda (c) (set! k c) 1)))").unwrap();
+        // The capturing program has returned: the machine no longer
+        // references the saved record, so the single shot may relink.
+        let relinked = e.metrics().reinstates_relinked;
+        assert_eq!(e.eval_to_string("(k 41)").unwrap(), "42");
+        assert!(e.metrics().reinstates_relinked > relinked, "one-shot reinstate should relink");
+        assert!(e.metrics().slots_copy_avoided > 0);
+    }
+
+    #[test]
+    fn raw_one_shot_capture_works_in_tail_position() {
+        // %call/1cc in tail position exercises the tail-capture rule
+        // interaction; the wrapper still delivers exactly one shot.
+        assert_eq!(eval("(define (f) (%call/1cc (lambda (k) (k 7)))) (f)"), "7");
     }
 
     #[test]

@@ -98,6 +98,19 @@ pub const PRELUDE: &str = r#"
 
 (define call/cc call-with-current-continuation)
 
+;; One-shot capture: like call/cc but the continuation may be invoked (or
+;; returned into) at most once, which lets the segmented stack reinstate it
+;; by relinking the saved segment chain instead of copying it.
+(define call/1cc
+  (let ((primitive %call/1cc))
+    (lambda (f)
+      (primitive
+        (lambda (k)
+          (f (let ((saved %winders))
+               (lambda (v)
+                 (if (eq? %winders saved) (void) (%reroot! saved))
+                 (k v)))))))))
+
 ;; ---- string ports -----------------------------------------------------------
 
 (define (call-with-output-string proc)

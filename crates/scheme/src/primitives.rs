@@ -28,6 +28,11 @@ pub enum PrimKind {
     Normal(fn(&mut PrimCtx<'_>, &[Value]) -> Result<Value, SchemeError>),
     /// `call-with-current-continuation` — handled by the VM.
     CallCC,
+    /// `call/1cc` — one-shot continuation capture, handled by the VM. The
+    /// captured continuation may be invoked (or returned into) at most
+    /// once; reuse raises an error. The restriction lets the segmented
+    /// strategy reinstate by relinking instead of copying.
+    CallCC1,
     /// `apply` — handled by the VM.
     Apply,
     /// `(set-timer ticks)` — arms the VM's engine timer, returns the
@@ -1436,6 +1441,9 @@ pub static PRIMITIVES: &[PrimDef] = &[
     PrimDef { name: "call/cc", min_args: 1, max_args: Some(1), kind: PrimKind::CallCC },
     // Raw capture without the prelude's dynamic-wind rerooting wrapper.
     PrimDef { name: "%call/cc", min_args: 1, max_args: Some(1), kind: PrimKind::CallCC },
+    // Raw one-shot capture; `call/1cc` in the prelude adds the rerooting
+    // wrapper.
+    PrimDef { name: "%call/1cc", min_args: 1, max_args: Some(1), kind: PrimKind::CallCC1 },
     PrimDef { name: "apply", min_args: 2, max_args: None, kind: PrimKind::Apply },
     PrimDef { name: "set-timer", min_args: 1, max_args: Some(1), kind: PrimKind::SetTimer },
     PrimDef {

@@ -464,12 +464,15 @@ impl Vm<'_> {
                     self.pc += 2;
                     Ok(None)
                 }
-                PrimKind::CallCC => {
+                PrimKind::CallCC | PrimKind::CallCC1 => {
                     self.check_prim_arity(p, nargs)?;
                     let f = self.stack.get(d as usize + 2);
                     self.stack.set(d as usize + 1, f.clone());
                     self.stack.call(d as usize, ret, 1, check)?;
-                    let k = self.stack.capture();
+                    let k = match def_of(p).kind {
+                        PrimKind::CallCC1 => self.stack.capture_one_shot(),
+                        _ => self.stack.capture(),
+                    };
                     self.stack.set(2, Value::Kont(k));
                     self.enter_pushed(f, 1)
                 }
@@ -593,12 +596,15 @@ impl Vm<'_> {
                     self.acc = self.run_primitive(p, src as usize + 1, nargs)?;
                     self.do_return()
                 }
-                PrimKind::CallCC => {
+                PrimKind::CallCC | PrimKind::CallCC1 => {
                     self.check_prim_arity(p, nargs)?;
                     // Capture first: the continuation of a tail call/cc is
                     // the current frame's own continuation. On an empty
                     // segment this reuses the link (the looper rule).
-                    let k = self.stack.capture();
+                    let k = match def_of(p).kind {
+                        PrimKind::CallCC1 => self.stack.capture_one_shot(),
+                        _ => self.stack.capture(),
+                    };
                     let f = self.stack.get(src as usize + 1);
                     self.stack.set(src as usize + 1, f.clone());
                     self.stack.set(src as usize + 2, Value::Kont(k));
