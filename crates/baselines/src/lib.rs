@@ -98,7 +98,7 @@ impl Strategy {
         code: Rc<dyn FrameSizeTable>,
     ) -> Result<Box<dyn ControlStack<S>>, StackError> {
         Ok(match self {
-            Strategy::Segmented => Box::new(SegmentedStack::new(cfg, code)?),
+            Strategy::Segmented => Box::new(SegmentedStack::<S>::new(cfg, code)?),
             Strategy::Heap => Box::new(HeapStack::new(cfg)),
             Strategy::Copy => Box::new(CopyStack::new(cfg, code)),
             Strategy::Cache => Box::new(CacheStack::new(cfg, code)),

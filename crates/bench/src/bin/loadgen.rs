@@ -10,9 +10,12 @@
 //!
 //! Flags: `--workers N` (default 4), `--jobs N` (default 1000),
 //! `--quantum TICKS` (default 5000), `--seed N` (default 42),
-//! `--json` (append the runtime metrics snapshot as JSON).
+//! `--json` (append the runtime metrics snapshot as JSON),
+//! `--trace-out PATH` (record per-worker event traces and write a
+//! Chrome/Perfetto trace-event JSON timeline to PATH).
 
-use segstack_bench::serve_load::{percentile, run_load, LoadReport};
+use segstack_bench::serve_load::{percentile, run_load_traced, LoadReport};
+use segstack_core::trace::{chrome_trace_json, flame_summary, validate_chrome_trace};
 
 struct Args {
     workers: usize,
@@ -20,10 +23,12 @@ struct Args {
     quantum: u64,
     seed: u64,
     json: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { workers: 4, jobs: 1000, quantum: 5_000, seed: 42, json: false };
+    let mut args =
+        Args { workers: 4, jobs: 1000, quantum: 5_000, seed: 42, json: false, trace_out: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut num = |name: &str| -> u64 {
@@ -37,9 +42,13 @@ fn parse_args() -> Args {
             "--quantum" => args.quantum = num("--quantum"),
             "--seed" => args.seed = num("--seed"),
             "--json" => args.json = true,
+            "--trace-out" => {
+                args.trace_out = Some(it.next().unwrap_or_else(|| die("--trace-out needs a path")));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: loadgen [--workers N] [--jobs N] [--quantum TICKS] [--seed N] [--json]"
+                    "usage: loadgen [--workers N] [--jobs N] [--quantum TICKS] [--seed N] \
+                     [--json] [--trace-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -133,10 +142,25 @@ fn print_report(r: &LoadReport, quantum: u64) {
 
 fn main() {
     let args = parse_args();
-    let report = run_load(args.workers, args.jobs, args.quantum, args.seed);
+    let report =
+        run_load_traced(args.workers, args.jobs, args.quantum, args.seed, args.trace_out.is_some());
     print_report(&report, args.quantum);
     if args.json {
         println!("\n{}", report.snapshot.to_json());
+    }
+    if let Some(path) = &args.trace_out {
+        let doc = chrome_trace_json(&report.traces);
+        let stats = validate_chrome_trace(&doc)
+            .unwrap_or_else(|e| die(&format!("exported trace failed validation: {e}")));
+        if let Err(e) = std::fs::write(path, &doc) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        println!(
+            "\ntrace: {path} — {} events ({} spans, {} instants, {} job spans) on {} track(s); \
+             open in https://ui.perfetto.dev or chrome://tracing",
+            stats.events, stats.spans, stats.instants, stats.async_spans, stats.tracks
+        );
+        println!("\n## flame summary (self time per span kind)\n{}", flame_summary(&report.traces));
     }
     if report.failed > 0 {
         std::process::exit(1);

@@ -11,6 +11,10 @@ use std::time::{Duration, Instant};
 
 use segstack_baselines::Strategy;
 use segstack_core::rng::SplitMix64;
+use segstack_core::trace::OwnerTrace;
+// Exact nearest-rank percentile, shared with the histogram module so the
+// approximate (bucketed) readouts are checked against the same contract.
+pub use segstack_core::trace::percentile;
 use segstack_serve::{Request, Runtime, RuntimeConfig, RuntimeSnapshot};
 
 use crate::workloads as w;
@@ -67,6 +71,8 @@ pub struct LoadReport {
     pub samples: Vec<Sample>,
     /// Final runtime metrics.
     pub snapshot: RuntimeSnapshot,
+    /// Per-worker event traces (empty unless tracing was requested).
+    pub traces: Vec<OwnerTrace>,
 }
 
 impl LoadReport {
@@ -118,16 +124,6 @@ impl LoadReport {
     }
 }
 
-/// Percentile over an iterator of durations (nearest-rank).
-pub fn percentile(latencies: impl Iterator<Item = Duration>, p: f64) -> Duration {
-    let mut v: Vec<Duration> = latencies.collect();
-    if v.is_empty() {
-        return Duration::ZERO;
-    }
-    v.sort_unstable();
-    v[(((v.len() - 1) as f64) * p.clamp(0.0, 1.0)).round() as usize]
-}
-
 /// Runs `jobs` mixed jobs through a fresh runtime with `workers` workers.
 ///
 /// Classes and strategies are interleaved round-robin and the submission
@@ -135,13 +131,29 @@ pub fn percentile(latencies: impl Iterator<Item = Duration>, p: f64) -> Duration
 /// the identical job sequence. Submission uses the blocking `submit`, so
 /// a full queue applies back-pressure instead of dropping.
 pub fn run_load(workers: usize, jobs: usize, quantum: u64, seed: u64) -> LoadReport {
+    run_load_traced(workers, jobs, quantum, seed, false)
+}
+
+/// [`run_load`] with optional per-worker event tracing; the drained
+/// traces land in [`LoadReport::traces`], ready for
+/// [`segstack_core::trace::chrome_trace_json`].
+pub fn run_load_traced(
+    workers: usize,
+    jobs: usize,
+    quantum: u64,
+    seed: u64,
+    tracing: bool,
+) -> LoadReport {
     let classes = job_classes();
     let mut order: Vec<usize> = (0..jobs).collect();
     let mut rng = SplitMix64::new(seed);
     rng.shuffle(&mut order);
 
     let rt = Runtime::start(
-        RuntimeConfig::with_workers(workers).quantum(quantum).queue_depth(jobs.max(1)),
+        RuntimeConfig::with_workers(workers)
+            .quantum(quantum)
+            .queue_depth(jobs.max(1))
+            .tracing(tracing),
     );
     let start = Instant::now();
     let mut handles = Vec::with_capacity(jobs);
@@ -171,8 +183,8 @@ pub fn run_load(workers: usize, jobs: usize, quantum: u64, seed: u64) -> LoadRep
         });
     }
     let wall = start.elapsed();
-    let snapshot = rt.shutdown();
-    LoadReport { workers, submitted: jobs, completed, failed, wall, samples, snapshot }
+    let (snapshot, traces) = rt.shutdown_traced();
+    LoadReport { workers, submitted: jobs, completed, failed, wall, samples, snapshot, traces }
 }
 
 #[cfg(test)]
@@ -193,9 +205,20 @@ mod tests {
 
     #[test]
     fn percentile_is_nearest_rank() {
+        // Contract check on the re-exported helper: the bench reports
+        // depend on exact nearest-rank semantics.
         let v = [1u64, 2, 3, 4].map(Duration::from_secs);
         assert_eq!(percentile(v.iter().copied(), 0.0), Duration::from_secs(1));
         assert_eq!(percentile(v.iter().copied(), 1.0), Duration::from_secs(4));
         assert_eq!(percentile(v.iter().copied(), 0.5), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn traced_load_collects_worker_timelines() {
+        let r = run_load_traced(2, 8, 2_000, 3, true);
+        assert_eq!(r.completed, 8);
+        assert!(!r.traces.is_empty() && r.traces.len() <= 2, "one trace per worker that ran");
+        let doc = segstack_core::trace::chrome_trace_json(&r.traces);
+        segstack_core::trace::validate_chrome_trace(&doc).expect("loadgen trace must validate");
     }
 }

@@ -1,8 +1,11 @@
 //! A ready-to-use engine with every control library loaded, plus typed
 //! helpers for the classic continuation workloads.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use segstack_baselines::Strategy;
-use segstack_core::{Config, Metrics};
+use segstack_core::{Config, Metrics, RingSink};
 use segstack_scheme::{CheckPolicy, Engine, SchemeError, Value};
 
 use crate::libs;
@@ -49,6 +52,23 @@ impl Control {
     ) -> Result<Self, SchemeError> {
         let engine =
             Engine::builder().strategy(strategy).config(config).check_policy(policy).build()?;
+        Self::with_engine(engine)
+    }
+
+    /// Creates a kit whose engine records trace events into a shared
+    /// ring (see [`segstack_core::trace`]). Only the segmented strategy
+    /// is instrumented; other strategies accept the sink and record
+    /// nothing. Several kits may share one ring through clones of the
+    /// same handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction or library loading failures.
+    pub fn with_trace_sink(
+        strategy: Strategy,
+        sink: Rc<RefCell<RingSink>>,
+    ) -> Result<Self, SchemeError> {
+        let engine = Engine::builder().strategy(strategy).trace_sink(sink).build()?;
         Self::with_engine(engine)
     }
 

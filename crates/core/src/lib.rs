@@ -71,6 +71,14 @@ mod slot;
 mod traits;
 pub mod walker;
 
+/// The observability layer ([`TraceSink`], ring buffers, histograms,
+/// Chrome/Perfetto export), re-exported for downstream crates.
+pub use segstack_trace as trace;
+/// Key tracing types, re-exported at the crate root: the sink trait the
+/// segmented stack is generic over, its zero-cost disabled form, the
+/// recording ring, and the event vocabulary.
+pub use segstack_trace::{EventKind, NoopSink, RingSink, TraceSink};
+
 pub use addr::{CodeAddr, FrameSizeTable, ReturnAddress, TestCode};
 pub use config::{Config, ConfigBuilder};
 pub use drops::defer_drop;

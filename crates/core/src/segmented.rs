@@ -13,6 +13,8 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use segstack_trace::{EventKind, NoopSink, TraceSink};
+
 use crate::addr::{CodeAddr, FrameSizeTable, ReturnAddress};
 use crate::config::Config;
 use crate::error::StackError;
@@ -163,7 +165,17 @@ impl<S: StackSlot> KontRepr<S> for SegKont<S> {
 /// assert_eq!(stack.ret()?, ReturnAddress::Code(ra));
 /// # Ok::<(), segstack_core::StackError>(())
 /// ```
-pub struct SegmentedStack<S: StackSlot> {
+///
+/// # Tracing
+///
+/// The second type parameter is a [`TraceSink`] the machine emits
+/// observability events into (capture/reinstate/relink/overflow/underflow
+/// with per-event cost payloads). It defaults to [`NoopSink`], a
+/// zero-sized sink whose `emit` compiles to nothing, so the untraced
+/// machine pays no cost — not even a branch. Pass a
+/// [`RingSink`](segstack_trace::RingSink) (or a shared
+/// `Rc<RefCell<RingSink>>`) to [`SegmentedStack::with_sink`] to record.
+pub struct SegmentedStack<S: StackSlot, T: TraceSink = NoopSink> {
     code: Rc<dyn FrameSizeTable>,
     cfg: Config,
     alloc: SegmentAllocator<S>,
@@ -180,9 +192,11 @@ pub struct SegmentedStack<S: StackSlot> {
     /// Link field of the current stack record.
     link: Option<Continuation<S>>,
     metrics: Metrics,
+    /// Trace-event destination; [`NoopSink`] by default.
+    sink: T,
 }
 
-impl<S: StackSlot> SegmentedStack<S> {
+impl<S: StackSlot, T: TraceSink> SegmentedStack<S, T> {
     /// Creates a segmented stack with an initial segment of
     /// `cfg.segment_slots()` slots whose base holds the exit routine.
     ///
@@ -190,13 +204,35 @@ impl<S: StackSlot> SegmentedStack<S> {
     ///
     /// Returns [`StackError::OutOfStackMemory`] if a configured budget
     /// cannot cover the initial segment.
-    pub fn new(cfg: Config, code: Rc<dyn FrameSizeTable>) -> Result<Self, StackError> {
+    pub fn new(cfg: Config, code: Rc<dyn FrameSizeTable>) -> Result<Self, StackError>
+    where
+        T: Default,
+    {
+        SegmentedStack::with_sink(cfg, code, T::default())
+    }
+
+    /// Like [`SegmentedStack::new`], recording trace events into `sink`.
+    pub fn with_sink(
+        cfg: Config,
+        code: Rc<dyn FrameSizeTable>,
+        sink: T,
+    ) -> Result<Self, StackError> {
         let mut metrics = Metrics::new();
         let mut alloc = SegmentAllocator::new(&cfg);
         let buf = alloc.alloc(cfg.segment_slots(), &mut metrics)?;
         let end = buf.borrow().len();
         buf.borrow_mut()[0] = S::from_return_address(ReturnAddress::Exit);
-        Ok(SegmentedStack { code, cfg, alloc, buf, base: 0, end, fp: 0, link: None, metrics })
+        Ok(SegmentedStack { code, cfg, alloc, buf, base: 0, end, fp: 0, link: None, metrics, sink })
+    }
+
+    /// The trace sink (shared access, e.g. for readouts in tests).
+    pub fn sink(&self) -> &T {
+        &self.sink
+    }
+
+    /// The trace sink, mutably (e.g. to drain a ring).
+    pub fn sink_mut(&mut self) -> &mut T {
+        &mut self.sink
     }
 
     /// The active configuration.
@@ -233,8 +269,15 @@ impl<S: StackSlot> SegmentedStack<S> {
     /// the partial frame to a fresh segment.
     fn overflow_call(&mut self, d: usize, ra: CodeAddr, nargs: usize) -> Result<(), StackError> {
         self.metrics.overflows += 1;
-        let newbuf = self.alloc.alloc(self.cfg.segment_slots(), &mut self.metrics)?;
         let seal_top = self.fp + d;
+        self.sink.emit(EventKind::OverflowBegin, (seal_top - self.base) as u64, nargs as u64);
+        let reused_before = self.metrics.segments_reused;
+        let newbuf = self.alloc.alloc(self.cfg.segment_slots(), &mut self.metrics)?;
+        self.sink.emit(
+            EventKind::SegmentAlloc,
+            newbuf.borrow().len() as u64,
+            (self.metrics.segments_reused > reused_before) as u64,
+        );
         let sealed = SealedSeg {
             buf: self.buf.clone(),
             base: self.base,
@@ -260,6 +303,7 @@ impl<S: StackSlot> SegmentedStack<S> {
         self.end = newlen;
         self.fp = 0;
         self.link = Some(k);
+        self.sink.emit(EventKind::OverflowEnd, nargs as u64, newlen as u64);
         Ok(())
     }
 
@@ -292,12 +336,14 @@ impl<S: StackSlot> SegmentedStack<S> {
             link: s.link.take(),
             consumed: false,
         };
+        let deferred = bottom.size;
         s.buf.borrow_mut()[sp] = S::from_return_address(ReturnAddress::Underflow);
         s.base = sp;
         s.size = top - sp;
         s.link = Some(Continuation::from_repr(Rc::new(SegKont(RefCell::new(bottom)))));
         self.metrics.splits += 1;
         self.metrics.stack_records_allocated += 1;
+        self.sink.emit(EventKind::Split, deferred as u64, 0);
     }
 
     /// Zero-copy reinstatement: the relink fast path.
@@ -358,7 +404,8 @@ impl<S: StackSlot> SegmentedStack<S> {
         if new_fp + self.cfg.frame_bound() > buf_len {
             return None;
         }
-        if Rc::ptr_eq(&head_buf, &self.buf) {
+        let same_buffer = Rc::ptr_eq(&head_buf, &self.buf);
+        if same_buffer {
             // Same-buffer: only a seal sitting flush under the current
             // base merges back by lowering the base over it.
             if top != self.base {
@@ -421,6 +468,7 @@ impl<S: StackSlot> SegmentedStack<S> {
         self.link = link;
         self.metrics.reinstates_relinked += 1;
         self.metrics.slots_copy_avoided += size as u64;
+        self.sink.emit(EventKind::Relink, size as u64, same_buffer as u64);
         Some(ReturnAddress::Code(ra))
     }
 
@@ -434,6 +482,35 @@ impl<S: StackSlot> SegmentedStack<S> {
     /// caller's binding is that one handle and survives the call), so it
     /// always takes the bounded-copy path.
     fn reinstate_resolved(
+        &mut self,
+        k: &Continuation<S>,
+        owned: bool,
+    ) -> Result<ReturnAddress, StackError> {
+        if !self.sink.enabled() {
+            return self.reinstate_inner(k, owned);
+        }
+        // Span-paired: the end event carries the realized cost (slots
+        // copied, relinked or not) as metric deltas, so the Figure 6–7
+        // copy bound becomes a per-event assertion in the trace.
+        let target_size = k
+            .repr()
+            .as_any()
+            .downcast_ref::<SegKont<S>>()
+            .map_or(0, |sk| sk.0.borrow().size as u64);
+        self.sink.emit(EventKind::ReinstateBegin, target_size, owned as u64);
+        let copied_before = self.metrics.slots_copied;
+        let relinked_before = self.metrics.reinstates_relinked;
+        let result = self.reinstate_inner(k, owned);
+        self.sink.emit(
+            EventKind::ReinstateEnd,
+            self.metrics.slots_copied - copied_before,
+            (self.metrics.reinstates_relinked > relinked_before) as u64,
+        );
+        result
+    }
+
+    /// The untraced body of [`reinstate_resolved`](Self::reinstate_resolved).
+    fn reinstate_inner(
         &mut self,
         k: &Continuation<S>,
         owned: bool,
@@ -502,8 +579,14 @@ impl<S: StackSlot> SegmentedStack<S> {
             (s.buf.clone(), s.base, s.size, s.ra, s.link.clone())
         };
         if self.base + size + self.cfg.esp_reserve() > self.end {
+            let reused_before = self.metrics.segments_reused;
             let newbuf = self.alloc.alloc(size + self.cfg.esp_reserve(), &mut self.metrics)?;
             let newlen = newbuf.borrow().len();
+            self.sink.emit(
+                EventKind::SegmentAlloc,
+                newlen as u64,
+                (self.metrics.segments_reused > reused_before) as u64,
+            );
             let old = std::mem::replace(&mut self.buf, newbuf);
             self.alloc.retire(old);
             self.base = 0;
@@ -701,7 +784,7 @@ fn audit_base_word<S: StackSlot>(
     }
 }
 
-impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
+impl<S: StackSlot, T: TraceSink> ControlStack<S> for SegmentedStack<S, T> {
     fn name(&self) -> &'static str {
         "segmented"
     }
@@ -772,6 +855,14 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
                 debug_assert_eq!(self.fp, self.base, "underflow handler off the segment base");
                 self.metrics.underflows += 1;
                 let k = self.link.take().expect("underflow with no linked continuation");
+                if self.sink.enabled() {
+                    let size = k
+                        .repr()
+                        .as_any()
+                        .downcast_ref::<SegKont<S>>()
+                        .map_or(0, |sk| sk.0.borrow().size as u64);
+                    self.sink.emit(EventKind::Underflow, size, 0);
+                }
                 // The taken link is owned: it dies at the end of this arm,
                 // so the relink fast path may consume the record.
                 let result = self.reinstate_resolved(&k, true);
@@ -810,6 +901,7 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
                 // serves as the new continuation" (§4). This is what keeps
                 // `(define (looper) (call/cc (lambda (k) (looper))))` in
                 // constant space.
+                self.sink.emit(EventKind::Capture, 0, 1);
                 return self.link.clone().unwrap_or_else(Continuation::exit);
             }
             // Ablation: the naive behaviour the paper warns against — chain
@@ -827,6 +919,7 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
             self.metrics.stack_records_allocated += 1;
             let k = Continuation::from_repr(Rc::new(SegKont(RefCell::new(sealed))));
             self.link = Some(k.clone());
+            self.sink.emit(EventKind::Capture, 0, 0);
             return k;
         }
         let live_ra = self.buf.borrow()[self.fp]
@@ -845,6 +938,7 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
         self.metrics.stack_records_allocated += 1;
         let k = Continuation::from_repr(Rc::new(SegKont(RefCell::new(sealed))));
         self.buf.borrow_mut()[self.fp] = S::from_return_address(ReturnAddress::Underflow);
+        self.sink.emit(EventKind::Capture, (self.fp - self.base) as u64, 0);
         self.base = self.fp;
         self.link = Some(k.clone());
         k
@@ -945,9 +1039,13 @@ impl<S: StackSlot> ControlStack<S> for SegmentedStack<S> {
         self.fp = 0;
         self.buf.borrow_mut()[0] = S::from_return_address(ReturnAddress::Exit);
     }
+
+    fn trace_summaries(&self) -> Vec<(EventKind, segstack_trace::HistSummary)> {
+        self.sink.stats()
+    }
 }
 
-impl<S: StackSlot> fmt::Debug for SegmentedStack<S> {
+impl<S: StackSlot, T: TraceSink> fmt::Debug for SegmentedStack<S, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SegmentedStack")
             .field("base", &self.base)

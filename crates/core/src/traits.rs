@@ -13,6 +13,8 @@
 //!   word found via the return address (no dynamic links);
 //! * capture/reinstate implement `call/cc`.
 
+use segstack_trace::{EventKind, HistSummary};
+
 use crate::addr::{CodeAddr, ReturnAddress};
 use crate::error::StackError;
 use crate::metrics::Metrics;
@@ -157,6 +159,15 @@ pub trait ControlStack<S: StackSlot> {
     /// boundaries.
     fn backtrace(&self, limit: usize) -> Vec<CodeAddr> {
         let _ = limit;
+        Vec::new()
+    }
+
+    /// Per-event-kind histogram readouts from the strategy's attached
+    /// trace sink, if any. Strategies without tracing (the baselines) and
+    /// machines built on the zero-cost [`NoopSink`](crate::NoopSink)
+    /// return an empty vector. This is how `(trace-stats)` in the Scheme
+    /// layer reads the machine's own event aggregates.
+    fn trace_summaries(&self) -> Vec<(EventKind, HistSummary)> {
         Vec::new()
     }
 }

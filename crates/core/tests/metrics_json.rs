@@ -1,0 +1,76 @@
+//! `Metrics::to_json` contract tests against the in-tree JSON reader:
+//! the output must be valid JSON, must name every counter, and must keep
+//! the fixed `FIELD_NAMES` order (downstream tooling indexes by
+//! position).
+
+use segstack_core::trace::json;
+use segstack_core::Metrics;
+
+fn distinct_metrics() -> Metrics {
+    let mut m = Metrics::default();
+    // A distinct value per field so swapped or dropped members show up.
+    m.calls = 101;
+    m.tail_calls = 102;
+    m.returns = 103;
+    m.captures = 104;
+    m.reinstatements = 105;
+    m.reinstates_relinked = 106;
+    m.slots_copy_avoided = 107;
+    m.splits = 108;
+    m.overflows = 109;
+    m.underflows = 110;
+    m.segments_allocated = 111;
+    m.segments_reused = 112;
+    m.slots_copied = 113;
+    m.heap_frames_allocated = 114;
+    m.heap_slots_allocated = 115;
+    m.stack_records_allocated = 116;
+    m.checks_executed = 117;
+    m.checks_elided = 118;
+    m
+}
+
+#[test]
+fn to_json_is_valid_and_covers_every_field_in_order() {
+    let m = distinct_metrics();
+    let parsed = json::parse(&m.to_json()).expect("Metrics::to_json must emit valid JSON");
+    let members = parsed.as_object().expect("top level is an object");
+    assert_eq!(members.len(), Metrics::FIELD_NAMES.len());
+    for (i, ((key, value), (name, field))) in
+        members.iter().zip(Metrics::FIELD_NAMES.iter().zip(m.fields())).enumerate()
+    {
+        assert_eq!(key, name, "member {i} out of order");
+        assert_eq!(value.as_u64(), Some(field), "member {name} has the wrong value");
+    }
+}
+
+#[test]
+fn to_json_round_trips_through_merge() {
+    // Parsing two snapshots and summing per-field equals the merged
+    // record's snapshot — the JSON carries the full counter state.
+    let a = distinct_metrics();
+    let mut b = Metrics::default();
+    b.calls = 9;
+    b.slots_copied = 1000;
+    let pa = json::parse(&a.to_json()).unwrap();
+    let pb = json::parse(&b.to_json()).unwrap();
+    let mut merged = a.clone();
+    merged.merge(&b);
+    let pm = json::parse(&merged.to_json()).unwrap();
+    for name in Metrics::FIELD_NAMES {
+        let va = pa.get(name).and_then(|v| v.as_u64()).unwrap();
+        let vb = pb.get(name).and_then(|v| v.as_u64()).unwrap();
+        let vm = pm.get(name).and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(vm, va + vb, "field {name} does not round-trip");
+    }
+}
+
+#[test]
+fn extreme_counter_values_stay_valid_json() {
+    let mut m = Metrics::default();
+    m.calls = u64::MAX;
+    let parsed = json::parse(&m.to_json()).expect("u64::MAX must serialize as a JSON number");
+    // f64 cannot hold u64::MAX exactly; the reader still accepts it as a
+    // number, which is all JSON requires.
+    assert!(parsed.get("calls").and_then(|v| v.as_f64()).unwrap() > 1.8e19);
+}

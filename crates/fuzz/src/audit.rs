@@ -14,11 +14,19 @@
 //!   most `max(copy_bound, frame_bound)` slots (Figures 6–7);
 //! * an overflowing call copies only the staged arguments (§5);
 //! * everything else copies nothing.
+//!
+//! The audit stack also records into a tracing ring
+//! ([`segstack_core::RingSink`]), and the run ends with an
+//! event/metrics cross-check: every counter the machine reports must
+//! equal the number of events the instrumentation emitted for it. A
+//! divergence means an instrumentation hook was skipped or
+//! double-fired on some path the fuzzer found.
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use segstack_core::{ControlStack, SegmentedStack, TestSlot};
+use segstack_core::trace::EventKind;
+use segstack_core::{ControlStack, RingSink, SegmentedStack, TestSlot};
 
 use crate::driver::{apply_op, drain, CompiledTrace};
 use crate::trace::{Op, TraceSpec};
@@ -48,8 +56,12 @@ fn audit_loop(
     compiled: &CompiledTrace,
     at_op: &Cell<usize>,
 ) -> Result<(), String> {
-    let mut stack = SegmentedStack::<TestSlot>::new(spec.config(), compiled.code.clone())
-        .map_err(|e| format!("audit: cannot build segmented stack: {e}"))?;
+    let mut stack = SegmentedStack::<TestSlot, RingSink>::with_sink(
+        spec.config(),
+        compiled.code.clone(),
+        RingSink::new(),
+    )
+    .map_err(|e| format!("audit: cannot build segmented stack: {e}"))?;
     let reinstate_bound = spec.copy_bound.max(spec.frame_bound) as u64;
     let mut saved = Vec::new();
     let mut captures = 0usize;
@@ -160,6 +172,49 @@ fn audit_loop(
             "audit: drain copied {copied} slots over {underflows} underflows; \
              each is bounded by {}",
             spec.copy_bound.max(spec.frame_bound)
+        ));
+    }
+    cross_check_events(&stack)
+}
+
+/// Event-vs-metrics cross-check: each traced operation must have emitted
+/// exactly as many events as the machine counted (segment allocations are
+/// `<=` because the untraced constructor/reset sites also allocate).
+fn cross_check_events(stack: &SegmentedStack<TestSlot, RingSink>) -> Result<(), String> {
+    let m = stack.metrics();
+    let ring = stack.sink();
+    let exact: [(EventKind, u64); 7] = [
+        (EventKind::Capture, m.captures),
+        (EventKind::ReinstateBegin, m.reinstatements),
+        (EventKind::ReinstateEnd, m.reinstatements),
+        (EventKind::Relink, m.reinstates_relinked),
+        (EventKind::OverflowBegin, m.overflows),
+        (EventKind::OverflowEnd, m.overflows),
+        (EventKind::Underflow, m.underflows),
+    ];
+    for (kind, counter) in exact {
+        let events = ring.kind_count(kind);
+        if events != counter {
+            return Err(format!(
+                "audit: {} events ({events}) disagree with the metrics counter ({counter})",
+                kind.name()
+            ));
+        }
+    }
+    // Splits happen on capture-path sealing *and* on bounded reinstates;
+    // both sites are traced, so the counts must still agree exactly.
+    if ring.kind_count(EventKind::Split) != m.splits {
+        return Err(format!(
+            "audit: split events ({}) disagree with the metrics counter ({})",
+            ring.kind_count(EventKind::Split),
+            m.splits
+        ));
+    }
+    let allocs = ring.kind_count(EventKind::SegmentAlloc);
+    if allocs > m.segments_allocated + m.segments_reused {
+        return Err(format!(
+            "audit: {allocs} segment_alloc events exceed allocations ({} + {} reused)",
+            m.segments_allocated, m.segments_reused
         ));
     }
     Ok(())

@@ -1,10 +1,11 @@
 //! The embedding API: a complete Scheme engine over a chosen control-stack
 //! strategy.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use segstack_baselines::Strategy;
-use segstack_core::{Config, ControlStack, Metrics, StackStats};
+use segstack_core::{Config, ControlStack, Metrics, RingSink, SegmentedStack, StackStats};
 
 use crate::code::{CodeStore, Globals};
 use crate::codegen::{compile_toplevel, CheckPolicy, CompileOptions};
@@ -39,6 +40,7 @@ pub struct EngineBuilder {
     stable_primitive_bindings: bool,
     max_steps: Option<u64>,
     prelude: bool,
+    trace_sink: Option<Rc<RefCell<RingSink>>>,
 }
 
 impl Default for EngineBuilder {
@@ -50,6 +52,7 @@ impl Default for EngineBuilder {
             stable_primitive_bindings: false,
             max_steps: None,
             prelude: true,
+            trace_sink: None,
         }
     }
 }
@@ -97,6 +100,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a shared trace ring to the engine's control stack.
+    ///
+    /// Only the segmented strategy is instrumented; with any other
+    /// strategy the sink is accepted but records nothing. Several engines
+    /// (e.g. the jobs multiplexed on one serve worker) may share a single
+    /// ring through clones of the same handle. The Scheme program can read
+    /// the ring's aggregates with `(trace-stats)`.
+    pub fn trace_sink(mut self, sink: Rc<RefCell<RingSink>>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
     /// Builds the engine (installing primitives and loading the prelude).
     ///
     /// # Errors
@@ -107,7 +122,16 @@ impl EngineBuilder {
         let store = Rc::new(CodeStore::new());
         let mut globals = Globals::new();
         primitives::install(&mut globals);
-        let stack = self.strategy.build::<Value>(self.config.clone(), store.clone())?;
+        let stack: Box<dyn ControlStack<Value>> = match (self.trace_sink, self.strategy) {
+            (Some(sink), Strategy::Segmented) => {
+                Box::new(SegmentedStack::<Value, Rc<RefCell<RingSink>>>::with_sink(
+                    self.config.clone(),
+                    store.clone(),
+                    sink,
+                )?)
+            }
+            _ => self.strategy.build::<Value>(self.config.clone(), store.clone())?,
+        };
         let vm_opts =
             VmOptions { max_steps: self.max_steps, frame_bound: self.config.frame_bound() };
         let copts = CompileOptions {
@@ -900,6 +924,59 @@ mod vm_edge_tests {
              (list first (caller))",
             "(1 2)",
         );
+    }
+}
+
+#[cfg(test)]
+mod trace_stats_tests {
+    use super::*;
+
+    /// A program that captures and re-enters a continuation, so the traced
+    /// machine must record `capture` and `reinstate_*` events.
+    const CALLCC_LOOP: &str = "
+        (define (count n)
+          (if (= n 0)
+              'done
+              (call/cc (lambda (k) (k (count (- n 1)))))))
+        (count 50)";
+
+    #[test]
+    fn untraced_machine_reports_an_empty_alist() {
+        let mut e = Engine::new().unwrap();
+        e.eval(CALLCC_LOOP).unwrap();
+        assert_eq!(e.eval_to_string("(trace-stats)").unwrap(), "()");
+    }
+
+    #[test]
+    fn traced_machine_reports_per_kind_histograms() {
+        let sink = Rc::new(RefCell::new(RingSink::new()));
+        let mut e = Engine::builder().trace_sink(sink.clone()).build().unwrap();
+        e.eval(CALLCC_LOOP).unwrap();
+        // Read the alist from inside the language: every entry is
+        // (kind count p50 p90 p99 max) and the capture count matches the
+        // machine's own counter.
+        let captures = e
+            .eval_to_string("(cadr (assq 'capture (trace-stats)))")
+            .unwrap()
+            .parse::<u64>()
+            .unwrap();
+        assert_eq!(captures, e.metrics().captures, "alist disagrees with Metrics");
+        assert!(captures >= 50, "the loop captures at least once per iteration");
+        assert_eq!(
+            e.eval_to_string("(length (cdr (assq 'reinstate_end (trace-stats))))").unwrap(),
+            "5",
+            "each entry carries count p50 p90 p99 max"
+        );
+        // The engine-side handle sees the same ring the VM wrote through.
+        assert!(sink.borrow().total_recorded() > 0);
+    }
+
+    #[test]
+    fn tail_position_trace_stats_also_answers() {
+        let sink = Rc::new(RefCell::new(RingSink::new()));
+        let mut e = Engine::builder().trace_sink(sink).build().unwrap();
+        e.eval(CALLCC_LOOP).unwrap();
+        assert_eq!(e.eval_to_string("(define (f) (trace-stats)) (pair? (f))").unwrap(), "#t");
     }
 }
 

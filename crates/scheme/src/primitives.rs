@@ -44,6 +44,12 @@ pub enum PrimKind {
     /// the pending procedures' names as a list of symbols (innermost
     /// first). Paper §3's debugger stack walk, surfaced in the language.
     StackFrames,
+    /// `(trace-stats)` — reads the histogram aggregates of the trace sink
+    /// attached to the engine's control stack (handled by the VM). Returns
+    /// an alist `((kind count p50 p90 p99 max) ...)` with one entry per
+    /// event kind seen so far; the empty list when the machine is
+    /// untraced.
+    TraceStats,
     /// `(eval datum)` — compiles and runs a datum in the global
     /// environment (handled by the VM: it re-enters the compiler and then
     /// calls the fresh chunk like a procedure).
@@ -1425,6 +1431,8 @@ pub static PRIMITIVES: &[PrimDef] = &[
     },
     // Stack introspection (the paper's §3 debugger walk, from Scheme).
     PrimDef { name: "stack-frames", min_args: 0, max_args: Some(1), kind: PrimKind::StackFrames },
+    // Trace-sink readout (the observability layer, from Scheme).
+    PrimDef { name: "trace-stats", min_args: 0, max_args: Some(0), kind: PrimKind::TraceStats },
     PrimDef { name: "eval", min_args: 1, max_args: Some(1), kind: PrimKind::Eval },
     PrimDef {
         name: "read-from-string",

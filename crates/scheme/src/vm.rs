@@ -351,6 +351,20 @@ impl Vm<'_> {
         Ok(Value::list(names))
     }
 
+    /// `(trace-stats)`: one alist entry `(kind count p50 p90 p99 max)` per
+    /// event kind the machine's trace sink has seen (nanoseconds or slots,
+    /// depending on the kind — see the event vocabulary). Untraced
+    /// machines return `()`.
+    fn trace_stats(&self) -> Value {
+        let fix = |v: u64| Value::Fixnum(v.min(i64::MAX as u64) as i64);
+        Value::list(self.stack.trace_summaries().into_iter().map(|(kind, s)| {
+            Value::cons(
+                Value::sym(kind.name()),
+                Value::list([fix(s.count), fix(s.p50), fix(s.p90), fix(s.p99), fix(s.max)]),
+            )
+        }))
+    }
+
     /// Arity message helper.
     fn arity_error(&self, who: &str, want: String, got: u16) -> SchemeError {
         SchemeError::runtime(format!("{who}: expected {want} arguments, got {got}"))
@@ -507,6 +521,12 @@ impl Vm<'_> {
                     self.pc += 2;
                     Ok(None)
                 }
+                PrimKind::TraceStats => {
+                    self.check_prim_arity(p, nargs)?;
+                    self.acc = self.trace_stats();
+                    self.pc += 2;
+                    Ok(None)
+                }
                 PrimKind::Eval => {
                     self.check_prim_arity(p, nargs)?;
                     let datum = self.stack.get(d as usize + 2);
@@ -638,6 +658,11 @@ impl Vm<'_> {
                     } else {
                         None
                     })?;
+                    self.do_return()
+                }
+                PrimKind::TraceStats => {
+                    self.check_prim_arity(p, nargs)?;
+                    self.acc = self.trace_stats();
                     self.do_return()
                 }
                 PrimKind::Eval => {

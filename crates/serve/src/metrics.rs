@@ -9,6 +9,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use segstack_core::trace::Histogram;
 use segstack_core::Metrics;
 
 /// Service counters for one worker (or, merged, the whole runtime).
@@ -32,6 +33,11 @@ pub struct WorkerMetrics {
     pub ticks: u64,
     /// Nanoseconds spent inside job quanta (excludes queue idle time).
     pub busy_nanos: u64,
+    /// End-to-end job latency in nanoseconds (submit → outcome), one
+    /// sample per finished job, any outcome.
+    pub latency: Histogram,
+    /// Wall-clock nanoseconds per granted quantum.
+    pub quantum_nanos: Histogram,
     /// Control-stack cost counters from this worker's engines.
     pub core: Metrics,
 }
@@ -46,17 +52,21 @@ impl WorkerMetrics {
             + self.fuel_exhausted
     }
 
-    /// Field-wise merge of another record into this one.
+    /// Field-wise merge of another record into this one. Saturating:
+    /// long-lived deployments legitimately approach `u64::MAX` in
+    /// `busy_nanos`/`ticks`, and a snapshot must never panic.
     pub fn merge(&mut self, other: &WorkerMetrics) {
-        self.admitted += other.admitted;
-        self.completed += other.completed;
-        self.eval_errors += other.eval_errors;
-        self.cancelled += other.cancelled;
-        self.deadline_exceeded += other.deadline_exceeded;
-        self.fuel_exhausted += other.fuel_exhausted;
-        self.quanta += other.quanta;
-        self.ticks += other.ticks;
-        self.busy_nanos += other.busy_nanos;
+        self.admitted = self.admitted.saturating_add(other.admitted);
+        self.completed = self.completed.saturating_add(other.completed);
+        self.eval_errors = self.eval_errors.saturating_add(other.eval_errors);
+        self.cancelled = self.cancelled.saturating_add(other.cancelled);
+        self.deadline_exceeded = self.deadline_exceeded.saturating_add(other.deadline_exceeded);
+        self.fuel_exhausted = self.fuel_exhausted.saturating_add(other.fuel_exhausted);
+        self.quanta = self.quanta.saturating_add(other.quanta);
+        self.ticks = self.ticks.saturating_add(other.ticks);
+        self.busy_nanos = self.busy_nanos.saturating_add(other.busy_nanos);
+        self.latency.merge(&other.latency);
+        self.quantum_nanos.merge(&other.quantum_nanos);
         self.core.merge(&other.core);
     }
 
@@ -65,7 +75,7 @@ impl WorkerMetrics {
         format!(
             "{{\"admitted\":{},\"completed\":{},\"eval_errors\":{},\"cancelled\":{},\
              \"deadline_exceeded\":{},\"fuel_exhausted\":{},\"quanta\":{},\"ticks\":{},\
-             \"busy_nanos\":{},\"core\":{}}}",
+             \"busy_nanos\":{},\"latency_nanos\":{},\"quantum_nanos\":{},\"core\":{}}}",
             self.admitted,
             self.completed,
             self.eval_errors,
@@ -75,9 +85,20 @@ impl WorkerMetrics {
             self.quanta,
             self.ticks,
             self.busy_nanos,
+            hist_json(&self.latency),
+            hist_json(&self.quantum_nanos),
             self.core.to_json()
         )
     }
+}
+
+/// A histogram readout as a JSON object (counts plus percentiles).
+fn hist_json(h: &Histogram) -> String {
+    let s = h.summary();
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        s.count, s.p50, s.p90, s.p99, s.max
+    )
 }
 
 impl fmt::Display for WorkerMetrics {
@@ -85,7 +106,7 @@ impl fmt::Display for WorkerMetrics {
         write!(
             f,
             "admitted={} completed={} errors={} cancelled={} deadline={} fuel={} \
-             quanta={} ticks={} busy={:?}",
+             quanta={} ticks={} busy={:?} lat_p50={:?} lat_p99={:?}",
             self.admitted,
             self.completed,
             self.eval_errors,
@@ -95,6 +116,8 @@ impl fmt::Display for WorkerMetrics {
             self.quanta,
             self.ticks,
             Duration::from_nanos(self.busy_nanos),
+            Duration::from_nanos(self.latency.percentile(0.50)),
+            Duration::from_nanos(self.latency.percentile(0.99)),
         )
     }
 }
@@ -172,5 +195,55 @@ mod tests {
         assert!(json.contains("\"queued\":3"));
         assert!(json.contains("\"completed\":3"), "totals merged: {json}");
         assert_eq!(json.matches("\"core\":").count(), 3, "{json}");
+    }
+
+    #[test]
+    fn merge_saturates_near_u64_max() {
+        // A long-lived worker's nanosecond and tick counters can sit near
+        // the top of the range; merging a snapshot must clamp, not panic.
+        let mut a = WorkerMetrics {
+            busy_nanos: u64::MAX - 10,
+            ticks: u64::MAX - 1,
+            quanta: u64::MAX,
+            ..Default::default()
+        };
+        let b = WorkerMetrics { busy_nanos: 100, ticks: 5, quanta: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.busy_nanos, u64::MAX);
+        assert_eq!(a.ticks, u64::MAX);
+        assert_eq!(a.quanta, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_json_parses_and_round_trips_the_merge() {
+        use segstack_core::trace::json;
+
+        let mut w0 = WorkerMetrics { completed: 4, busy_nanos: 1_000, ..Default::default() };
+        w0.latency.record(1_500);
+        w0.latency.record(3_000);
+        w0.quantum_nanos.record(500);
+        w0.core.captures = 7;
+        let mut w1 = WorkerMetrics { completed: 1, eval_errors: 2, ..Default::default() };
+        w1.latency.record(9_000);
+        let snap = RuntimeSnapshot { workers: vec![w0, w1], queued: 5 };
+
+        let parsed = json::parse(&snap.to_json()).expect("snapshot JSON must parse");
+        assert_eq!(parsed.get("queued").and_then(|v| v.as_u64()), Some(5));
+        let total = parsed.get("total").expect("total present");
+        // The merged totals equal the per-worker sums.
+        assert_eq!(total.get("completed").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(
+            total.get("core").and_then(|c| c.get("captures")).and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        let lat = total.get("latency_nanos").expect("latency histogram present");
+        assert_eq!(lat.get("count").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(lat.get("max").and_then(|v| v.as_u64()), Some(9_000));
+        let workers = parsed.get("workers").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(workers.len(), 2);
+        assert_eq!(
+            workers[1].get("latency_nanos").and_then(|l| l.get("max")).and_then(|v| v.as_u64()),
+            Some(9_000)
+        );
     }
 }

@@ -6,6 +6,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle as ThreadHandle;
 use std::time::Instant;
 
+use segstack_core::trace::OwnerTrace;
+
 use crate::job::{JobFlags, JobSpec, JoinHandle, Request};
 use crate::metrics::{RuntimeSnapshot, WorkerMetrics};
 use crate::queue::{Bounded, PushError};
@@ -27,6 +29,11 @@ pub struct RuntimeConfig {
     /// Jobs a worker interleaves at once. Above this, jobs wait in the
     /// shared queue where any worker can claim them.
     pub max_inflight: usize,
+    /// Records a per-worker event trace (job spans, quantum timeline,
+    /// capture/reinstate/relink events, queue-depth gauges). Retrieve it
+    /// with [`Runtime::shutdown_traced`] and render it with
+    /// [`segstack_core::trace::chrome_trace_json`].
+    pub tracing: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -37,6 +44,7 @@ impl Default for RuntimeConfig {
             quantum: 10_000,
             default_fuel: None,
             max_inflight: 8,
+            tracing: false,
         }
     }
 }
@@ -70,6 +78,21 @@ impl RuntimeConfig {
         self.max_inflight = jobs.max(1);
         self
     }
+
+    /// Turns per-worker event tracing on or off (default off).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+}
+
+/// Shared tracing state handed to every worker: the common epoch that
+/// aligns all timelines, and the collector workers drain their rings
+/// into when they exit.
+#[derive(Clone)]
+pub(crate) struct TraceShared {
+    pub epoch: Instant,
+    pub collector: Arc<Mutex<Vec<OwnerTrace>>>,
 }
 
 /// Why a submission was rejected.
@@ -109,6 +132,7 @@ pub struct Runtime {
     config: RuntimeConfig,
     next_id: AtomicU64,
     abort: Arc<AtomicBool>,
+    traces: Arc<Mutex<Vec<OwnerTrace>>>,
 }
 
 impl Runtime {
@@ -116,6 +140,10 @@ impl Runtime {
     pub fn start(config: RuntimeConfig) -> Self {
         let injector = Arc::new(Bounded::new(config.queue_depth));
         let abort = Arc::new(AtomicBool::new(false));
+        let traces = Arc::new(Mutex::new(Vec::new()));
+        let tracing = config
+            .tracing
+            .then(|| TraceShared { epoch: Instant::now(), collector: traces.clone() });
         let mut threads = Vec::new();
         let mut metrics = Vec::new();
         for i in 0..config.workers.max(1) {
@@ -125,6 +153,8 @@ impl Runtime {
                 metrics: cell.clone(),
                 config: config.clone(),
                 abort: abort.clone(),
+                index: i,
+                tracing: tracing.clone(),
             };
             metrics.push(cell);
             threads.push(
@@ -134,7 +164,7 @@ impl Runtime {
                     .expect("spawn worker thread"),
             );
         }
-        Runtime { injector, threads, metrics, config, next_id: AtomicU64::new(0), abort }
+        Runtime { injector, threads, metrics, config, next_id: AtomicU64::new(0), abort, traces }
     }
 
     /// Submits a request, blocking while the queue is full.
@@ -210,12 +240,24 @@ impl Runtime {
     /// divergent job with no fuel cap or deadline will hold shutdown
     /// open; cancel it (or drop the runtime, which aborts instead of
     /// draining) to force progress.
-    pub fn shutdown(mut self) -> RuntimeSnapshot {
+    pub fn shutdown(self) -> RuntimeSnapshot {
+        self.shutdown_traced().0
+    }
+
+    /// [`Runtime::shutdown`], additionally returning the per-worker event
+    /// traces drained as each worker exited (one [`OwnerTrace`] per
+    /// worker that ran, in exit order). Empty unless the runtime was
+    /// started with [`RuntimeConfig::tracing`]. Render with
+    /// [`segstack_core::trace::chrome_trace_json`] or
+    /// [`segstack_core::trace::flame_summary`].
+    pub fn shutdown_traced(mut self) -> (RuntimeSnapshot, Vec<OwnerTrace>) {
         self.injector.close();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
-        self.metrics()
+        let snapshot = self.metrics();
+        let traces = std::mem::take(&mut *self.traces.lock().expect("trace collector poisoned"));
+        (snapshot, traces)
     }
 }
 

@@ -13,24 +13,30 @@
 //! the job as a continuation — so a hostile `(let loop () (loop))`
 //! cannot hold the worker hostage for longer than one quantum.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use segstack_baselines::Strategy;
 use segstack_control::{Control, EngineJob, Step};
+use segstack_core::trace::{EventKind, RingSink};
 
 use crate::job::{JobError, JobOutcome, JobSpec};
 use crate::metrics::WorkerMetrics;
 use crate::queue::Bounded;
-use crate::runtime::RuntimeConfig;
+use crate::runtime::{RuntimeConfig, TraceShared};
 
 /// One job admitted onto this worker.
 struct Active {
     spec: JobSpec,
     engine_job: EngineJob,
 }
+
+/// The worker's optional recording ring (shared with its engines).
+type Ring = Option<Rc<RefCell<RingSink>>>;
 
 /// Everything a worker thread needs.
 pub(crate) struct Worker {
@@ -41,12 +47,32 @@ pub(crate) struct Worker {
     /// in-flight and queued jobs are cancelled at the next preemption
     /// point instead of being run to completion.
     pub abort: Arc<AtomicBool>,
+    /// This worker's index (trace track id and thread name suffix).
+    pub index: usize,
+    /// Shared tracing state (epoch + drained-trace collector), when the
+    /// runtime was started with tracing on.
+    pub tracing: Option<TraceShared>,
 }
 
 impl Worker {
     /// The thread body: admit, rotate, step, report — until the injector
-    /// closes and every in-flight job has an outcome.
+    /// closes and every in-flight job has an outcome. A traced worker
+    /// drains its ring into the runtime's collector on every exit path.
     pub fn run(self) {
+        // Every engine on this worker shares one ring; the shared epoch
+        // aligns all workers' timelines on one time base.
+        let ring: Ring =
+            self.tracing.as_ref().map(|t| Rc::new(RefCell::new(RingSink::with_epoch(t.epoch))));
+        self.run_loop(&ring);
+        if let (Some(ring), Some(t)) = (ring, &self.tracing) {
+            let trace = ring
+                .borrow_mut()
+                .take_trace(format!("worker-{}", self.index), self.index as u64 + 1);
+            t.collector.lock().expect("trace collector poisoned").push(trace);
+        }
+    }
+
+    fn run_loop(&self, ring: &Ring) {
         // Kits are built lazily per strategy: most deployments use one or
         // two strategies, and prelude compilation is the expensive part.
         let mut kits: Vec<(Strategy, Control)> = Vec::new();
@@ -58,10 +84,12 @@ impl Worker {
             // even if a job is divergent with no fuel or deadline.
             if self.abort.load(Ordering::Relaxed) {
                 for slot in active.drain(..) {
-                    self.finish(&slot, Err(JobError::Cancelled), |m| m.cancelled += 1);
+                    self.finish(ring, &slot, Err(JobError::Cancelled), |m| m.cancelled += 1);
                 }
                 while let Some(spec) = self.injector.try_pop() {
-                    self.report(&spec, 0, 0, Err(JobError::Cancelled), |m| m.cancelled += 1);
+                    self.report(ring, &spec, 0, 0, Err(JobError::Cancelled), |m| {
+                        m.cancelled += 1;
+                    });
                 }
                 return;
             }
@@ -79,53 +107,55 @@ impl Worker {
                     self.injector.try_pop()
                 };
                 let Some(spec) = next else { break };
-                self.admit(spec, &mut kits, &mut active);
+                self.admit(ring, spec, &mut kits, &mut active);
             }
 
             let Some(mut slot) = active.pop_front() else { continue };
 
             // Pre-quantum policy checks (cheap, no engine involvement).
             if slot.spec.flags.is_cancelled() {
-                self.finish(&slot, Err(JobError::Cancelled), |m| m.cancelled += 1);
+                self.finish(ring, &slot, Err(JobError::Cancelled), |m| m.cancelled += 1);
                 continue;
             }
             if past_deadline(&slot.spec) {
-                self.finish(&slot, Err(JobError::DeadlineExceeded), |m| {
+                self.finish(ring, &slot, Err(JobError::DeadlineExceeded), |m| {
                     m.deadline_exceeded += 1;
                 });
                 continue;
             }
 
             // Grant one quantum on the kit for this job's strategy.
-            let kit =
-                kit_for(&mut kits, slot.spec.strategy).expect("kit already built at admission");
+            let kit = kit_for(ring, &mut kits, slot.spec.strategy).expect("kit built at admission");
             let quantum = self.config.quantum;
+            emit(ring, EventKind::QuantumBegin, slot.spec.id, self.index as u64);
             let start = Instant::now();
             let step = kit.step_job(&mut slot.engine_job, quantum);
             let busy = start.elapsed().as_nanos() as u64;
+            emit(ring, EventKind::QuantumEnd, slot.spec.id, busy);
             {
                 let mut m = self.metrics.lock().expect("metrics poisoned");
-                m.quanta += 1;
-                m.busy_nanos += busy;
+                m.quanta = m.quanta.saturating_add(1);
+                m.busy_nanos = m.busy_nanos.saturating_add(busy);
+                m.quantum_nanos.record(busy);
                 m.core.merge(kit.metrics());
             }
             kit.engine().reset_metrics();
 
             match step {
                 Ok(Step::Done { value, .. }) => {
-                    self.finish(&slot, Ok(value.to_string()), |m| m.completed += 1);
+                    self.finish(ring, &slot, Ok(value.to_string()), |m| m.completed += 1);
                 }
                 Ok(Step::Expired) => {
-                    self.metrics.lock().expect("metrics poisoned").ticks += quantum;
+                    self.add_ticks(quantum);
                     if out_of_fuel(&slot) {
-                        self.finish(&slot, Err(JobError::FuelExhausted), |m| {
+                        self.finish(ring, &slot, Err(JobError::FuelExhausted), |m| {
                             m.fuel_exhausted += 1;
                         });
                     } else if past_deadline(&slot.spec) {
                         // The deadline passed *during* the quantum: the
                         // engine timer preempted the program mid-flight
                         // and we discard the captured remainder.
-                        self.finish(&slot, Err(JobError::DeadlineExceeded), |m| {
+                        self.finish(ring, &slot, Err(JobError::DeadlineExceeded), |m| {
                             m.deadline_exceeded += 1;
                         });
                     } else {
@@ -133,8 +163,8 @@ impl Worker {
                     }
                 }
                 Err(e) => {
-                    self.metrics.lock().expect("metrics poisoned").ticks += quantum;
-                    self.finish(&slot, Err(JobError::Eval(e.to_string())), |m| {
+                    self.add_ticks(quantum);
+                    self.finish(ring, &slot, Err(JobError::Eval(e.to_string())), |m| {
                         m.eval_errors += 1;
                     });
                 }
@@ -142,26 +172,45 @@ impl Worker {
         }
     }
 
+    fn add_ticks(&self, ticks: u64) {
+        let mut m = self.metrics.lock().expect("metrics poisoned");
+        m.ticks = m.ticks.saturating_add(ticks);
+    }
+
     /// Builds (or reuses) the kit, spawns the engine, and enqueues the
     /// job locally. Spawn failures are reported as outcomes immediately.
     fn admit(
         &self,
+        ring: &Ring,
         spec: JobSpec,
         kits: &mut Vec<(Strategy, Control)>,
         active: &mut VecDeque<Active>,
     ) {
         self.metrics.lock().expect("metrics poisoned").admitted += 1;
-        let kit = match kit_for(kits, spec.strategy) {
+        if let Some(r) = ring {
+            // Backdate the enqueue instant to submission time so the job's
+            // async span covers its whole queue wait on the timeline.
+            let mut r = r.borrow_mut();
+            let queued_at = spec
+                .submitted
+                .checked_duration_since(r.epoch())
+                .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+            r.record_at(queued_at, EventKind::JobEnqueue, spec.id, 0);
+            r.record_now(EventKind::JobAdmit, spec.id, strategy_index(spec.strategy));
+            let depth = self.injector.len() as u64;
+            r.record_now(EventKind::QueueDepth, depth, 0);
+        }
+        let kit = match kit_for(ring, kits, spec.strategy) {
             Ok(kit) => kit,
             Err(e) => {
-                self.report(&spec, 0, 0, Err(JobError::Eval(e)), |m| m.eval_errors += 1);
+                self.report(ring, &spec, 0, 0, Err(JobError::Eval(e)), |m| m.eval_errors += 1);
                 return;
             }
         };
         match kit.spawn_job(&spec.program) {
             Ok(engine_job) => active.push_back(Active { spec, engine_job }),
             Err(e) => {
-                self.report(&spec, 0, 0, Err(JobError::Eval(e.to_string())), |m| {
+                self.report(ring, &spec, 0, 0, Err(JobError::Eval(e.to_string())), |m| {
                     m.eval_errors += 1;
                 });
             }
@@ -170,6 +219,7 @@ impl Worker {
 
     fn finish(
         &self,
+        ring: &Ring,
         slot: &Active,
         result: Result<String, JobError>,
         count: impl FnOnce(&mut WorkerMetrics),
@@ -178,12 +228,13 @@ impl Worker {
         // quanta were already charged whole as they happened).
         if result.is_ok() {
             let mut m = self.metrics.lock().expect("metrics poisoned");
-            m.ticks += slot
-                .engine_job
-                .ticks_used()
-                .saturating_sub(slot.engine_job.quanta().saturating_sub(1) * self.config.quantum);
+            m.ticks =
+                m.ticks.saturating_add(slot.engine_job.ticks_used().saturating_sub(
+                    slot.engine_job.quanta().saturating_sub(1) * self.config.quantum,
+                ));
         }
         self.report(
+            ring,
             &slot.spec,
             slot.engine_job.quanta(),
             slot.engine_job.ticks_used(),
@@ -194,22 +245,50 @@ impl Worker {
 
     fn report(
         &self,
+        ring: &Ring,
         spec: &JobSpec,
         quanta: u64,
         ticks: u64,
         result: Result<String, JobError>,
         count: impl FnOnce(&mut WorkerMetrics),
     ) {
-        count(&mut self.metrics.lock().expect("metrics poisoned"));
+        let latency = spec.submitted.elapsed();
+        let latency_nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        {
+            let mut m = self.metrics.lock().expect("metrics poisoned");
+            count(&mut m);
+            m.latency.record(latency_nanos);
+        }
+        emit(ring, outcome_kind(&result), spec.id, latency_nanos);
+        // Queue-depth gauge on drain: one job just left the system.
+        emit(ring, EventKind::QueueDepth, self.injector.len() as u64, 0);
         // A dropped handle is fine; the outcome just goes unobserved.
-        let _ = spec.outcome_tx.try_send(JobOutcome {
-            id: spec.id,
-            result,
-            quanta,
-            ticks,
-            latency: spec.submitted.elapsed(),
-        });
+        let _ =
+            spec.outcome_tx.try_send(JobOutcome { id: spec.id, result, quanta, ticks, latency });
     }
+}
+
+/// Records one event if this worker is traced.
+fn emit(ring: &Ring, kind: EventKind, a: u64, b: u64) {
+    if let Some(r) = ring {
+        r.borrow_mut().record_now(kind, a, b);
+    }
+}
+
+/// The job-outcome event kind for a result.
+fn outcome_kind(result: &Result<String, JobError>) -> EventKind {
+    match result {
+        Ok(_) => EventKind::JobComplete,
+        Err(JobError::Cancelled) => EventKind::JobCancelled,
+        Err(JobError::DeadlineExceeded) => EventKind::JobDeadline,
+        Err(JobError::FuelExhausted) => EventKind::JobFuel,
+        Err(_) => EventKind::JobError,
+    }
+}
+
+/// The strategy's position in [`Strategy::ALL`], as an event payload.
+fn strategy_index(strategy: Strategy) -> u64 {
+    Strategy::ALL.iter().position(|s| *s == strategy).unwrap_or(0) as u64
 }
 
 fn past_deadline(spec: &JobSpec) -> bool {
@@ -222,15 +301,21 @@ fn out_of_fuel(slot: &Active) -> bool {
 
 /// Finds or builds the kit for a strategy. Building loads the prelude
 /// and the control libraries, so it happens at most once per strategy
-/// per worker.
-fn kit_for(
-    kits: &mut Vec<(Strategy, Control)>,
+/// per worker. Traced workers hand every kit a clone of their ring, so
+/// engine-level events land on the worker's own timeline.
+fn kit_for<'k>(
+    ring: &Ring,
+    kits: &'k mut Vec<(Strategy, Control)>,
     strategy: Strategy,
-) -> Result<&mut Control, String> {
+) -> Result<&'k mut Control, String> {
     if let Some(i) = kits.iter().position(|(s, _)| *s == strategy) {
         return Ok(&mut kits[i].1);
     }
-    let kit = Control::new(strategy).map_err(|e| format!("engine construction: {e}"))?;
+    let kit = match ring {
+        Some(r) => Control::with_trace_sink(strategy, r.clone()),
+        None => Control::new(strategy),
+    }
+    .map_err(|e| format!("engine construction: {e}"))?;
     kits.push((strategy, kit));
     Ok(&mut kits.last_mut().expect("just pushed").1)
 }

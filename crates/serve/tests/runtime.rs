@@ -206,3 +206,60 @@ fn snapshot_json_is_well_formed_and_complete() {
     assert_eq!(json.matches("\"admitted\":").count(), 3, "{json}");
     assert_eq!(snap.total().completed, 4);
 }
+
+#[test]
+fn traced_runtime_exports_a_valid_chrome_timeline() {
+    use segstack_core::trace::{chrome_trace_json, flame_summary, validate_chrome_trace};
+
+    let rt =
+        Runtime::start(RuntimeConfig::with_workers(2).quantum(500).max_inflight(4).tracing(true));
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            // A mix of plain compute and continuation-heavy work so the
+            // trace carries capture/reinstate events inside quanta.
+            let program = if i % 2 == 0 {
+                fib(16)
+            } else {
+                "(let loop ((n 200) (acc 0))
+                   (if (= n 0) acc
+                       (loop (- n 1) (+ acc (call/cc (lambda (k) (k 1)))))))"
+                    .to_string()
+            };
+            rt.submit(Request::new(program)).unwrap()
+        })
+        .collect();
+    for h in handles {
+        assert!(h.wait().result.is_ok());
+    }
+    let (snapshot, traces) = rt.shutdown_traced();
+
+    // Service counters and histograms reflect the run.
+    let total = snapshot.total();
+    assert_eq!(total.completed, 6);
+    assert_eq!(total.latency.count(), 6, "one latency sample per job");
+    assert_eq!(total.quantum_nanos.count(), total.quanta, "one sample per quantum");
+
+    // Every worker that ran drained exactly one trace; the export is a
+    // valid, properly nested Chrome trace document.
+    assert!(!traces.is_empty() && traces.len() <= 2);
+    let doc = chrome_trace_json(&traces);
+    let stats = validate_chrome_trace(&doc).expect("serve trace must validate");
+    assert_eq!(stats.tracks, traces.len());
+    assert!(stats.spans >= total.quanta as usize, "every quantum is a span");
+    assert_eq!(stats.async_spans, 6, "every job opens and closes an async span");
+    assert!(doc.contains("\"name\":\"quantum\""), "{doc:.300}");
+    assert!(doc.contains("\"queue_depth\""));
+
+    // The flame summary names the worker tracks.
+    let flame = flame_summary(&traces);
+    assert!(flame.contains("worker-"), "{flame}");
+}
+
+#[test]
+fn untraced_runtime_returns_no_traces() {
+    let rt = Runtime::start(RuntimeConfig::with_workers(1));
+    rt.submit(Request::new(fib(10))).unwrap().wait();
+    let (snapshot, traces) = rt.shutdown_traced();
+    assert_eq!(snapshot.total().completed, 1);
+    assert!(traces.is_empty());
+}

@@ -1,0 +1,453 @@
+//! Chrome trace-event export (Perfetto / `chrome://tracing`) and the
+//! text flame summary.
+//!
+//! The exporter turns drained [`OwnerTrace`]s into one JSON document in
+//! the Trace Event Format: each owner becomes a named thread track
+//! (`"M"` metadata + `pid`/`tid`), span-paired events (`*Begin`/`*End`)
+//! become complete `"X"` events with durations, core one-off events
+//! become thread-scoped instants (`"i"`), the job lifecycle becomes
+//! async `"b"`/`"n"`/`"e"` spans keyed by job id, and queue-depth
+//! samples become `"C"` counter events.
+//!
+//! [`validate_chrome_trace`] is the matching checker: it re-parses the
+//! document with the in-tree JSON reader and verifies shape and
+//! per-track span nesting — the well-bracketed control flow the trace
+//! claims must actually hold in the file.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+use crate::json::{self, JsonValue};
+use crate::ring::OwnerTrace;
+
+/// All traces share one synthetic process.
+const PID: u64 = 1;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microsecond timestamp with nanosecond precision, as Chrome expects.
+fn us(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1000, nanos % 1000)
+}
+
+/// Which span a `*End` kind closes, if any.
+fn span_begin_of(kind: EventKind) -> Option<EventKind> {
+    match kind {
+        EventKind::ReinstateEnd => Some(EventKind::ReinstateBegin),
+        EventKind::OverflowEnd => Some(EventKind::OverflowBegin),
+        EventKind::QuantumEnd => Some(EventKind::QuantumBegin),
+        _ => None,
+    }
+}
+
+fn is_span_begin(kind: EventKind) -> bool {
+    matches!(kind, EventKind::ReinstateBegin | EventKind::OverflowBegin | EventKind::QuantumBegin)
+}
+
+fn span_name(begin: EventKind) -> &'static str {
+    match begin {
+        EventKind::ReinstateBegin => "reinstate",
+        EventKind::OverflowBegin => "overflow",
+        EventKind::QuantumBegin => "quantum",
+        _ => unreachable!("not a span begin"),
+    }
+}
+
+fn span_args(begin: &Event, end: &Event) -> String {
+    match begin.kind {
+        EventKind::ReinstateBegin => format!(
+            "{{\"record_slots\":{},\"one_shot\":{},\"slots_copied\":{},\"relinked\":{}}}",
+            begin.a, begin.b, end.a, end.b
+        ),
+        EventKind::OverflowBegin => format!(
+            "{{\"sealed_slots\":{},\"staged_args\":{},\"slots_copied\":{},\"segment_capacity\":{}}}",
+            begin.a, begin.b, end.a, end.b
+        ),
+        EventKind::QuantumBegin => format!(
+            "{{\"job\":{},\"worker\":{},\"busy_nanos\":{}}}",
+            begin.a, begin.b, end.b
+        ),
+        _ => unreachable!("not a span begin"),
+    }
+}
+
+/// Instant-event name and args, if this kind is a thread-scoped instant.
+fn instant(ev: &Event) -> Option<(&'static str, String)> {
+    match ev.kind {
+        EventKind::Capture => {
+            Some(("capture", format!("{{\"sealed_slots\":{},\"tail_rule\":{}}}", ev.a, ev.b)))
+        }
+        EventKind::Relink => {
+            Some(("relink", format!("{{\"slots_avoided\":{},\"same_buffer\":{}}}", ev.a, ev.b)))
+        }
+        EventKind::Underflow => Some(("underflow", format!("{{\"record_slots\":{}}}", ev.a))),
+        EventKind::SegmentAlloc => {
+            Some(("segment_alloc", format!("{{\"capacity_slots\":{},\"reused\":{}}}", ev.a, ev.b)))
+        }
+        EventKind::Split => Some(("split", format!("{{\"deferred_slots\":{}}}", ev.a))),
+        EventKind::JobAdmit => {
+            Some(("job_admit", format!("{{\"job\":{},\"strategy\":{}}}", ev.a, ev.b)))
+        }
+        _ => None,
+    }
+}
+
+/// Job-outcome name for the async-span end, if this kind ends a job.
+fn job_outcome(kind: EventKind) -> Option<&'static str> {
+    match kind {
+        EventKind::JobComplete => Some("complete"),
+        EventKind::JobError => Some("error"),
+        EventKind::JobCancelled => Some("cancelled"),
+        EventKind::JobDeadline => Some("deadline"),
+        EventKind::JobFuel => Some("fuel"),
+        _ => None,
+    }
+}
+
+struct Pending {
+    ev: Event,
+    child_nanos: u64,
+}
+
+/// Renders owner traces as a Chrome trace-event JSON document.
+///
+/// The output is a single object `{"traceEvents":[...]}` loadable in
+/// Perfetto or `chrome://tracing`. Events whose span partner was lost to
+/// ring wrap are dropped rather than exported unbalanced.
+pub fn chrome_trace_json(traces: &[OwnerTrace]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for trace in traces {
+        let tid = trace.tid;
+        out.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(&trace.owner)
+        ));
+        let mut stack: Vec<Pending> = Vec::new();
+        for ev in &trace.events {
+            if is_span_begin(ev.kind) {
+                stack.push(Pending { ev: *ev, child_nanos: 0 });
+                continue;
+            }
+            if let Some(begin_kind) = span_begin_of(ev.kind) {
+                // Pop to the matching begin; intermediates lost their
+                // ends (ring wrap) and are dropped.
+                let Some(depth) = stack.iter().rposition(|p| p.ev.kind == begin_kind) else {
+                    continue;
+                };
+                stack.truncate(depth + 1);
+                let open = stack.pop().expect("depth points into the stack");
+                let dur = ev.nanos.saturating_sub(open.ev.nanos);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_nanos = parent.child_nanos.saturating_add(dur);
+                }
+                out.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\"name\":\"{}\",\
+                     \"cat\":\"segstack\",\"ts\":{},\"dur\":{},\"args\":{}}}",
+                    span_name(begin_kind),
+                    us(open.ev.nanos),
+                    us(dur),
+                    span_args(&open.ev, ev)
+                ));
+                continue;
+            }
+            if let Some((name, args)) = instant(ev) {
+                out.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":{tid},\"name\":\"{name}\",\
+                     \"cat\":\"segstack\",\"s\":\"t\",\"ts\":{},\"args\":{args}}}",
+                    us(ev.nanos)
+                ));
+            }
+            match ev.kind {
+                EventKind::JobEnqueue => out.push(format!(
+                    "{{\"ph\":\"b\",\"pid\":{PID},\"tid\":{tid},\"name\":\"job\",\
+                     \"cat\":\"job\",\"id\":{},\"ts\":{},\"args\":{{}}}}",
+                    ev.a,
+                    us(ev.nanos)
+                )),
+                EventKind::QueueDepth => out.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":{PID},\"tid\":{tid},\"name\":\"queue_depth\",\
+                     \"ts\":{},\"args\":{{\"queued\":{}}}}}",
+                    us(ev.nanos),
+                    ev.a
+                )),
+                k => {
+                    if let Some(outcome) = job_outcome(k) {
+                        out.push(format!(
+                            "{{\"ph\":\"e\",\"pid\":{PID},\"tid\":{tid},\"name\":\"job\",\
+                             \"cat\":\"job\",\"id\":{},\"ts\":{},\
+                             \"args\":{{\"outcome\":\"{outcome}\",\"latency_nanos\":{}}}}}",
+                            ev.a,
+                            us(ev.nanos),
+                            ev.b
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let mut doc = String::from("{\"traceEvents\":[");
+    doc.push_str(&out.join(","));
+    doc.push_str("],\"displayTimeUnit\":\"ms\"}");
+    doc
+}
+
+/// Shape counts from a validated trace document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Complete (`"X"`) span events.
+    pub spans: usize,
+    /// Thread-scoped instants (`"i"`).
+    pub instants: usize,
+    /// Async begin/end pairs (`"b"`/`"e"`) that matched up.
+    pub async_spans: usize,
+    /// Named thread tracks (`"M"` thread_name records).
+    pub tracks: usize,
+}
+
+/// Validates an exported document: parses with the in-tree JSON reader,
+/// checks required members per phase, verifies `"X"` spans are properly
+/// nested per `(pid, tid)` track, and that every async `"e"` closes a
+/// previously opened `"b"` of the same id.
+pub fn validate_chrome_trace(doc: &str) -> Result<ChromeStats, String> {
+    let parsed = json::parse(doc).map_err(|e| e.to_string())?;
+    let events = parsed
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut stats = ChromeStats { events: events.len(), ..ChromeStats::default() };
+    // (pid, tid) -> [(ts, dur)] for X-nesting; (cat, id) -> open b count.
+    let mut spans: BTreeMap<(u64, u64), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut open_async: BTreeMap<(String, u64), u64> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |what: &str| Err(format!("traceEvents[{i}]: {what}"));
+        let ph = match ev.get("ph").and_then(JsonValue::as_str) {
+            Some(p) => p,
+            None => return fail("missing ph"),
+        };
+        if ev.get("name").and_then(JsonValue::as_str).is_none() {
+            return fail("missing name");
+        }
+        let pid = ev.get("pid").and_then(JsonValue::as_u64);
+        let tid = ev.get("tid").and_then(JsonValue::as_u64);
+        if pid.is_none() || tid.is_none() {
+            return fail("missing pid/tid");
+        }
+        if ph == "M" {
+            stats.tracks += 1;
+            continue;
+        }
+        let ts = match ev.get("ts").and_then(JsonValue::as_f64) {
+            Some(t) if t >= 0.0 => t,
+            _ => return fail("missing or negative ts"),
+        };
+        match ph {
+            "X" => {
+                let dur = match ev.get("dur").and_then(JsonValue::as_f64) {
+                    Some(d) if d >= 0.0 => d,
+                    _ => return fail("X event missing dur"),
+                };
+                spans.entry((pid.unwrap(), tid.unwrap())).or_default().push((ts, dur));
+                stats.spans += 1;
+            }
+            "i" => stats.instants += 1,
+            "b" => {
+                let id = ev.get("id").and_then(JsonValue::as_u64).ok_or("b without id")?;
+                let cat = ev.get("cat").and_then(JsonValue::as_str).unwrap_or_default().to_string();
+                *open_async.entry((cat, id)).or_insert(0) += 1;
+            }
+            "e" => {
+                let id = ev.get("id").and_then(JsonValue::as_u64).ok_or("e without id")?;
+                let cat = ev.get("cat").and_then(JsonValue::as_str).unwrap_or_default().to_string();
+                match open_async.get_mut(&(cat, id)) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        stats.async_spans += 1;
+                    }
+                    _ => return fail("async end without matching begin"),
+                }
+            }
+            "n" | "C" => {}
+            other => return Err(format!("traceEvents[{i}]: unknown phase {other:?}")),
+        }
+    }
+    // Proper nesting per track: sweeping spans by (ts, widest first),
+    // every span must lie inside the innermost still-open span.
+    const EPS: f64 = 1e-6;
+    for ((pid, tid), mut list) in spans {
+        list.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(y.1.partial_cmp(&x.1).unwrap()));
+        let mut open: Vec<f64> = Vec::new(); // stack of end timestamps
+        for (ts, dur) in list {
+            while matches!(open.last(), Some(&end) if end <= ts + EPS) {
+                open.pop();
+            }
+            if let Some(&end) = open.last() {
+                if ts + dur > end + EPS {
+                    return Err(format!(
+                        "track pid={pid} tid={tid}: span [{ts}, {}] overlaps \
+                         enclosing span ending at {end}",
+                        ts + dur
+                    ));
+                }
+            }
+            open.push(ts + dur);
+        }
+    }
+    Ok(stats)
+}
+
+/// A self-contained text flame summary in folded-stack format: one line
+/// per unique span path with its *self* time in nanoseconds, followed by
+/// per-owner instant counts. Paths read `owner;outer;inner`.
+pub fn flame_summary(traces: &[OwnerTrace]) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut instants: BTreeMap<(String, &'static str), u64> = BTreeMap::new();
+    for trace in traces {
+        let mut stack: Vec<Pending> = Vec::new();
+        for ev in &trace.events {
+            if is_span_begin(ev.kind) {
+                stack.push(Pending { ev: *ev, child_nanos: 0 });
+                continue;
+            }
+            if let Some(begin_kind) = span_begin_of(ev.kind) {
+                let Some(depth) = stack.iter().rposition(|p| p.ev.kind == begin_kind) else {
+                    continue;
+                };
+                stack.truncate(depth + 1);
+                let open = stack.pop().expect("depth points into the stack");
+                let dur = ev.nanos.saturating_sub(open.ev.nanos);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_nanos = parent.child_nanos.saturating_add(dur);
+                }
+                let mut path = trace.owner.clone();
+                for p in &stack {
+                    path.push(';');
+                    path.push_str(span_name(p.ev.kind));
+                }
+                path.push(';');
+                path.push_str(span_name(begin_kind));
+                *folded.entry(path).or_insert(0) += dur.saturating_sub(open.child_nanos);
+                continue;
+            }
+            if let Some((name, _)) = instant(ev) {
+                *instants.entry((trace.owner.clone(), name)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out = String::from("# flame summary — self time per span path, nanoseconds\n");
+    for (path, nanos) in &folded {
+        out.push_str(&format!("{path} {nanos}\n"));
+    }
+    out.push_str("# instants — count per owner\n");
+    for ((owner, name), count) in &instants {
+        out.push_str(&format!("{owner} {name} {count}\n"));
+    }
+    for trace in traces {
+        if trace.dropped > 0 {
+            out.push_str(&format!(
+                "# note: {} dropped {} events to ring wrap\n",
+                trace.owner, trace.dropped
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, nanos: u64, kind: EventKind, a: u64, b: u64) -> Event {
+        Event { seq, nanos, kind, a, b }
+    }
+
+    fn sample_trace() -> Vec<OwnerTrace> {
+        // worker-0: a quantum containing a reinstate (with a relink) and
+        // an overflow; a job async span around it; queue gauge samples.
+        let events = vec![
+            ev(0, 100, EventKind::JobEnqueue, 7, 0),
+            ev(1, 1_000, EventKind::JobAdmit, 7, 0),
+            ev(2, 1_050, EventKind::QueueDepth, 3, 0),
+            ev(3, 1_100, EventKind::QuantumBegin, 7, 0),
+            ev(4, 1_200, EventKind::Capture, 12, 0),
+            ev(5, 1_300, EventKind::ReinstateBegin, 12, 1),
+            ev(6, 1_350, EventKind::Relink, 12, 1),
+            ev(7, 1_400, EventKind::ReinstateEnd, 0, 1),
+            ev(8, 1_500, EventKind::OverflowBegin, 40, 3),
+            ev(9, 1_550, EventKind::SegmentAlloc, 512, 0),
+            ev(10, 1_600, EventKind::OverflowEnd, 3, 512),
+            ev(11, 2_000, EventKind::QuantumEnd, 7, 900),
+            ev(12, 2_100, EventKind::JobComplete, 7, 2_000),
+        ];
+        vec![OwnerTrace { owner: "worker-0".into(), tid: 1, events, dropped: 0 }]
+    }
+
+    #[test]
+    fn export_validates_and_counts_shapes() {
+        let doc = chrome_trace_json(&sample_trace());
+        let stats = validate_chrome_trace(&doc).expect("valid trace");
+        assert_eq!(stats.tracks, 1);
+        assert_eq!(stats.spans, 3); // quantum, reinstate, overflow
+        assert_eq!(stats.async_spans, 1); // the job
+        assert!(stats.instants >= 4); // capture, relink, segment_alloc, job_admit
+        assert!(doc.contains("\"slots_avoided\":12"));
+        assert!(doc.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn validator_rejects_overlapping_spans() {
+        let doc = r#"{"traceEvents":[
+            {"ph":"X","pid":1,"tid":1,"name":"a","ts":0,"dur":10},
+            {"ph":"X","pid":1,"tid":1,"name":"b","ts":5,"dur":10}
+        ]}"#;
+        let err = validate_chrome_trace(doc).unwrap_err();
+        assert!(err.contains("overlaps"), "got: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_async() {
+        let doc = r#"{"traceEvents":[
+            {"ph":"e","pid":1,"tid":1,"name":"job","cat":"job","id":3,"ts":1}
+        ]}"#;
+        assert!(validate_chrome_trace(doc).is_err());
+    }
+
+    #[test]
+    fn unmatched_span_ends_are_dropped_not_exported() {
+        let events = vec![
+            ev(0, 10, EventKind::ReinstateEnd, 0, 0), // begin lost to ring wrap
+            ev(1, 20, EventKind::QuantumBegin, 1, 0),
+            ev(2, 30, EventKind::QuantumEnd, 1, 5),
+        ];
+        let traces = vec![OwnerTrace { owner: "w".into(), tid: 1, events, dropped: 1 }];
+        let doc = chrome_trace_json(&traces);
+        let stats = validate_chrome_trace(&doc).expect("valid");
+        assert_eq!(stats.spans, 1);
+    }
+
+    #[test]
+    fn flame_summary_attributes_self_time_by_path() {
+        let s = flame_summary(&sample_trace());
+        // quantum self = 900 total - 100 (reinstate) - 100 (overflow).
+        assert!(s.contains("worker-0;quantum 700\n"), "summary:\n{s}");
+        assert!(s.contains("worker-0;quantum;reinstate 100\n"), "summary:\n{s}");
+        assert!(s.contains("worker-0;quantum;overflow 100\n"), "summary:\n{s}");
+        assert!(s.contains("worker-0 capture 1\n"), "summary:\n{s}");
+    }
+}

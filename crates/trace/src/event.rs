@@ -1,0 +1,175 @@
+//! The compact binary event record.
+//!
+//! An [`Event`] is four machine words plus a kind byte: a monotonic
+//! per-owner sequence number, a nanosecond timestamp relative to the
+//! owner's epoch, and two payload words whose meaning depends on the
+//! [`EventKind`]. Events never allocate; a ring sink stores them inline.
+
+/// What happened. Core kinds mirror the paper's cost model (capture,
+/// bounded-copy reinstatement, overflow/underflow as implicit capture and
+/// reinstatement); serve kinds describe the job lifecycle
+/// (enqueue → admit → quanta → outcome) and scheduler gauges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A continuation was captured. `a` = slots sealed into the new
+    /// record, `b` = 1 if the §4 tail rule reused the existing link
+    /// (no new record), 0 otherwise.
+    Capture = 0,
+    /// A reinstatement started. `a` = target record size in slots,
+    /// `b` = 1 if the caller holds a uniquely-owned one-shot handle.
+    ReinstateBegin = 1,
+    /// The matching end of [`EventKind::ReinstateBegin`]. `a` = slots
+    /// copied, `b` = 1 if served by the relink fast path.
+    ReinstateEnd = 2,
+    /// A reinstatement adopted the target's segment chain without
+    /// copying. `a` = slots the copy path would have moved,
+    /// `b` = 1 if the target lived in the current buffer.
+    Relink = 3,
+    /// A stack overflow (implicit capture, §5) started.
+    /// `a` = slots sealed below the call, `b` = staged argument slots.
+    OverflowBegin = 4,
+    /// The matching end of [`EventKind::OverflowBegin`]. `a` = slots
+    /// copied (the staged arguments only), `b` = new segment capacity.
+    OverflowEnd = 5,
+    /// A stack underflow (implicit reinstatement, §4–5). `a` = size of
+    /// the record being resumed, `b` = 0.
+    Underflow = 6,
+    /// A stack segment was obtained. `a` = capacity in slots,
+    /// `b` = 1 if reused from the pool, 0 if freshly allocated.
+    SegmentAlloc = 7,
+    /// A saved segment was split before reinstatement (Figure 7).
+    /// `a` = slots left in the deferred remainder, `b` = 0.
+    Split = 8,
+    /// A job entered the queue. `a` = job id, `b` = 0. Timestamp is the
+    /// submission instant (backdated by the admitting worker).
+    JobEnqueue = 9,
+    /// A worker admitted a job. `a` = job id, `b` = strategy index.
+    JobAdmit = 10,
+    /// A scheduling quantum started. `a` = job id, `b` = worker index.
+    QuantumBegin = 11,
+    /// The matching end of [`EventKind::QuantumBegin`]. `a` = job id,
+    /// `b` = busy nanoseconds of this quantum.
+    QuantumEnd = 12,
+    /// A job produced its value. `a` = job id, `b` = latency nanos.
+    JobComplete = 13,
+    /// A job failed with an evaluation error. `a` = job id,
+    /// `b` = latency nanos.
+    JobError = 14,
+    /// A job was cancelled. `a` = job id, `b` = latency nanos.
+    JobCancelled = 15,
+    /// A job overran its wall-clock deadline. `a` = job id,
+    /// `b` = latency nanos.
+    JobDeadline = 16,
+    /// A job exhausted its tick budget. `a` = job id, `b` = latency
+    /// nanos.
+    JobFuel = 17,
+    /// Queue-depth gauge, sampled on admit/drain. `a` = jobs queued,
+    /// `b` = 0.
+    QueueDepth = 18,
+}
+
+/// Number of distinct event kinds (array-index upper bound).
+pub const KIND_COUNT: usize = 19;
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; KIND_COUNT] = [
+        EventKind::Capture,
+        EventKind::ReinstateBegin,
+        EventKind::ReinstateEnd,
+        EventKind::Relink,
+        EventKind::OverflowBegin,
+        EventKind::OverflowEnd,
+        EventKind::Underflow,
+        EventKind::SegmentAlloc,
+        EventKind::Split,
+        EventKind::JobEnqueue,
+        EventKind::JobAdmit,
+        EventKind::QuantumBegin,
+        EventKind::QuantumEnd,
+        EventKind::JobComplete,
+        EventKind::JobError,
+        EventKind::JobCancelled,
+        EventKind::JobDeadline,
+        EventKind::JobFuel,
+        EventKind::QueueDepth,
+    ];
+
+    /// Stable lowercase name used in exports and `(trace-stats)` alists.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Capture => "capture",
+            EventKind::ReinstateBegin => "reinstate_begin",
+            EventKind::ReinstateEnd => "reinstate_end",
+            EventKind::Relink => "relink",
+            EventKind::OverflowBegin => "overflow_begin",
+            EventKind::OverflowEnd => "overflow_end",
+            EventKind::Underflow => "underflow",
+            EventKind::SegmentAlloc => "segment_alloc",
+            EventKind::Split => "split",
+            EventKind::JobEnqueue => "job_enqueue",
+            EventKind::JobAdmit => "job_admit",
+            EventKind::QuantumBegin => "quantum_begin",
+            EventKind::QuantumEnd => "quantum_end",
+            EventKind::JobComplete => "job_complete",
+            EventKind::JobError => "job_error",
+            EventKind::JobCancelled => "job_cancelled",
+            EventKind::JobDeadline => "job_deadline",
+            EventKind::JobFuel => "job_fuel",
+            EventKind::QueueDepth => "queue_depth",
+        }
+    }
+
+    /// Inverse of the discriminant, for decoding stored records.
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.get(v as usize).copied()
+    }
+
+    /// Index into per-kind arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One trace event: sequence number, relative timestamp, kind, and two
+/// payload words (see [`EventKind`] for per-kind meanings).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic per-owner sequence number (dense unless the ring
+    /// dropped events).
+    pub seq: u64,
+    /// Nanoseconds since the owning sink's epoch.
+    pub nanos: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_match_all_order() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(EventKind::from_u8(i as u8), Some(*k));
+        }
+        assert_eq!(EventKind::from_u8(KIND_COUNT as u8), None);
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+}

@@ -1,0 +1,106 @@
+//! The sink abstraction instrumented code writes into.
+//!
+//! Hot paths are generic over [`TraceSink`] so the disabled case
+//! ([`NoopSink`]) monomorphizes to nothing at all — no branch, no load,
+//! no store. The enabled case is a per-owner [`RingSink`](crate::RingSink)
+//! behind an `Rc<RefCell<..>>` so one worker's engines can share a ring
+//! without locks.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::EventKind;
+use crate::hist::HistSummary;
+use crate::ring::RingSink;
+
+/// A destination for trace events.
+///
+/// Implementations must be cheap: `emit` sits on the segmented stack's
+/// call/return/capture paths. `enabled` lets call sites skip computing
+/// expensive payloads when tracing is off.
+pub trait TraceSink {
+    /// Whether events are actually recorded.
+    fn enabled(&self) -> bool;
+
+    /// Records one event.
+    fn emit(&mut self, kind: EventKind, a: u64, b: u64);
+
+    /// Histogram readouts per event kind seen so far; empty for sinks
+    /// that keep no aggregates (the noop sink).
+    fn stats(&self) -> Vec<(EventKind, HistSummary)> {
+        Vec::new()
+    }
+}
+
+/// The zero-cost disabled sink: a zero-sized type whose `emit`
+/// monomorphizes to an empty body.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn emit(&mut self, _kind: EventKind, _a: u64, _b: u64) {}
+}
+
+impl TraceSink for RingSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn emit(&mut self, kind: EventKind, a: u64, b: u64) {
+        self.record_now(kind, a, b);
+    }
+
+    fn stats(&self) -> Vec<(EventKind, HistSummary)> {
+        self.summaries()
+    }
+}
+
+/// Shared-ring form: lets a worker thread hand the same ring to several
+/// engines (and keep a handle for itself) without locks.
+impl TraceSink for Rc<RefCell<RingSink>> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn emit(&mut self, kind: EventKind, a: u64, b: u64) {
+        self.borrow_mut().record_now(kind, a, b);
+    }
+
+    fn stats(&self) -> Vec<(EventKind, HistSummary)> {
+        self.borrow().summaries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NoopSink>(), 0);
+        assert!(!NoopSink.enabled());
+        let mut s = NoopSink;
+        s.emit(EventKind::Capture, 1, 2); // must be a no-op
+    }
+
+    #[test]
+    fn shared_ring_records_through_the_handle() {
+        let ring = Rc::new(RefCell::new(RingSink::new()));
+        let mut handle = ring.clone();
+        assert!(handle.enabled());
+        handle.emit(EventKind::Capture, 4, 0);
+        handle.emit(EventKind::Relink, 9, 1);
+        assert_eq!(ring.borrow().len(), 2);
+        assert_eq!(ring.borrow().kind_count(EventKind::Capture), 1);
+    }
+}
