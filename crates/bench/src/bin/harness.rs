@@ -45,7 +45,7 @@ fn main() {
         all.into_iter().filter(|(id, _)| filters.iter().any(|f| f == id)).collect()
     };
     if selected.is_empty() {
-        eprintln!("no experiment matches; known ids: e01..e18, a1..a3");
+        eprintln!("no experiment matches; known ids: e01..e19, a1..a3");
         std::process::exit(2);
     }
     println!("# segstack experiment harness");

@@ -963,6 +963,125 @@ pub fn e18_trace_overhead() -> Table {
     t
 }
 
+/// E19 — the raw-speed overhaul: interprocedural check elision plus the
+/// superinstruction/inline-cache dispatch rework, priced against the
+/// unsound `never` floor (Fig 8, §5).
+///
+/// `never` compiles every call check-free, which is only sound here
+/// because the segment outruns the recursion; the gap between the best
+/// sound policy and `never` is the residual cost of overflow safety.
+pub fn e19_interproc_checks() -> Table {
+    let mut t = Table::new(
+        "E19: interprocedural elision + dispatch overhaul vs the unchecked floor",
+        "the bounded-depth call-graph analysis extends the Figure 8 two-frame \
+         reserve through whole proven subgraphs, and the fused-dispatch VM \
+         (superinstructions, monomorphic inline caches) shrinks the per-call \
+         baseline every policy shares",
+        &[
+            "workload",
+            "policy",
+            "time",
+            "vs never",
+            "checks executed",
+            "interproc elided",
+            "ic hits",
+            "ic misses",
+        ],
+    );
+    // `Never` is only sound when the segment outruns the recursion.
+    let big = Config::builder().segment_slots(4 * 1024 * 1024).frame_bound(64).build().unwrap();
+    let mk = |policy: CheckPolicy, stable: bool, interproc: bool| -> Engine {
+        Engine::builder()
+            .strategy(Strategy::Segmented)
+            .config(big.clone())
+            .check_policy(policy)
+            .stable_primitive_bindings(stable)
+            .interprocedural_elision(interproc)
+            .build()
+            .expect("engine construction")
+    };
+    let reps = 5;
+    for (name, src) in [
+        ("fib 22", w::fib(22)),
+        ("tak 16 10 4", w::tak(16, 10, 4)),
+        ("lcg-let-loop 300k", w::lcg_let_loop(300_000)),
+        ("leaf-heavy sort 600", w::sort(600)),
+        ("nested-helper 200k", w::nested_helper(200_000)),
+    ] {
+        mk(CheckPolicy::Elide, false, false).eval(&src).expect("warmup");
+        let mut never_best = f64::MAX;
+        let mut never_metrics = Metrics::default();
+        for (label, policy, stable, interproc) in [
+            ("always", CheckPolicy::Always, false, false),
+            ("elide", CheckPolicy::Elide, false, false),
+            ("elide+stable", CheckPolicy::Elide, true, false),
+            ("elide+stable+interproc", CheckPolicy::Elide, true, true),
+        ] {
+            // Interleaved pairs (the E18 methodology): the policy under
+            // test and the `never` floor run back to back in alternating
+            // order, and the reported gap is the median per-pair ratio —
+            // allocator drift over the harness run cancels out.
+            let mut ratios = Vec::with_capacity(reps);
+            let mut best = f64::MAX;
+            let mut metrics = Metrics::default();
+            for rep in 0..reps {
+                let (p, n) = if rep % 2 == 0 {
+                    let p = measure(&mut mk(policy, stable, interproc), "", &src);
+                    (p, measure(&mut mk(CheckPolicy::Never, false, false), "", &src))
+                } else {
+                    let n = measure(&mut mk(CheckPolicy::Never, false, false), "", &src);
+                    (measure(&mut mk(policy, stable, interproc), "", &src), n)
+                };
+                assert_eq!(p.value, n.value, "{name}: policies must agree");
+                never_best = never_best.min(n.nanos);
+                best = best.min(p.nanos);
+                ratios.push(p.nanos / n.nanos);
+                metrics = p.metrics;
+                never_metrics = n.metrics;
+            }
+            ratios.sort_by(f64::total_cmp);
+            let gap = (ratios[reps / 2] - 1.0) * 100.0;
+            t.row([
+                name.to_string(),
+                label.to_string(),
+                fmt_ns(best),
+                format!("{gap:+.1}%"),
+                metrics.checks_executed.to_string(),
+                metrics.checks_elided_interproc.to_string(),
+                metrics.ic_hits.to_string(),
+                metrics.ic_misses.to_string(),
+            ]);
+        }
+        t.row([
+            name.to_string(),
+            "never".to_string(),
+            fmt_ns(never_best),
+            "(floor)".to_string(),
+            never_metrics.checks_executed.to_string(),
+            never_metrics.checks_elided_interproc.to_string(),
+            never_metrics.ic_hits.to_string(),
+            never_metrics.ic_misses.to_string(),
+        ]);
+    }
+    t.note(
+        "vs-never is the median of per-pair time ratios (policy and floor \
+            measured back-to-back in alternating order); times shown are each \
+            policy's best rep",
+    );
+    t.note(
+        "fib and tak are self-recursive, so their call heights are unbounded \
+            and the interprocedural pass proves nothing there — the gap those \
+            rows close comes from the shared dispatch overhaul; nested-helper \
+            is the shape where only the transitive analysis can drop checks",
+    );
+    t.note(
+        "interproc elided counts non-tail closure calls that skipped the \
+            check under the bounded-depth proof; they are a subset of the \
+            checks-elided total",
+    );
+    t
+}
+
 /// The harness `--trace-out` body: a canonical continuation-heavy run on
 /// a traced segmented engine (one-shot coroutine switches past a segment
 /// boundary, then the ctak torture test), drained as one core timeline.
@@ -1001,6 +1120,7 @@ pub fn all() -> Vec<Experiment> {
         ("e16", e16_pingpong),
         ("e17", e17_relink_depth),
         ("e18", e18_trace_overhead),
+        ("e19", e19_interproc_checks),
         ("a1", a1_tail_rule),
         ("a2", a2_segment_size),
         ("a3", a3_pooling),

@@ -228,6 +228,21 @@ pub fn lcg_let_loop(n: u32) -> String {
     )
 }
 
+/// A bounded helper chain driven from a tail loop: every iteration makes a
+/// non-tail call to `sumsq`, which makes two non-tail calls to the leaf
+/// `sq` — the exact shape the interprocedural bounded-depth analysis
+/// proves check-free (transitive Figure 8 reserve), which single-body leaf
+/// elision cannot reach.
+pub fn nested_helper(n: u32) -> String {
+    format!(
+        "(define (sq x) (* x x))
+         (define (sumsq a b) (+ (sq a) (sq b)))
+         (define (loop i acc)
+           (if (= i 0) acc (loop (- i 1) (+ acc (sumsq i 3)))))
+         (loop {n} 0)"
+    )
+}
+
 /// The Boyer-style rewriting theorem prover over `n` theorem instances:
 /// the classic symbol/list-intensive Gabriel workload shape.
 pub fn boyer(n: u32) -> String {

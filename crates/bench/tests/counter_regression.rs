@@ -9,7 +9,7 @@ use std::rc::Rc;
 
 use segstack_baselines::Strategy;
 use segstack_core::{sim, Config, ControlStack, SegmentedStack, TestCode, TestSlot};
-use segstack_scheme::Engine;
+use segstack_scheme::{CheckPolicy, Engine};
 
 /// The E17 core shape: a uniquely-owned one-shot tower reinstated from a
 /// detached machine must relink every round and copy exactly zero slots.
@@ -118,5 +118,92 @@ fn pingpong_one_shot_does_not_thrash_the_allocator() {
         "1000 one-shot switches allocated {} fresh segments; switches must reuse \
          the side buffers",
         m.segments_allocated
+    );
+}
+
+/// A bounded helper chain: `loop` is unbounded (self-recursive) but each
+/// iteration's non-tail `(sumsq ...)` call — and sumsq's two `(sq ...)`
+/// calls — have provably finite-height callees.
+const HELPER_CHAIN: &str = "
+    (define (sq x) (* x x))
+    (define (sumsq a b) (+ (sq a) (sq b)))
+    (define (loop i acc)
+      (if (= i 0) acc (loop (- i 1) (+ acc (sumsq i 3)))))
+    (loop 10000 0)";
+
+/// Interprocedural elision gate: on a bounded helper chain the analysis
+/// must convert the per-iteration closure-call checks into elisions,
+/// strictly reducing `checks_executed` against plain `elide`, without
+/// changing the result.
+#[test]
+fn interproc_elision_removes_checks_on_bounded_helper_chains() {
+    let mut base = Engine::builder().check_policy(CheckPolicy::Elide).build().unwrap();
+    base.reset_metrics();
+    let want = base.eval(HELPER_CHAIN).unwrap().to_string();
+    let mb = base.metrics().clone();
+    assert_eq!(mb.checks_elided_interproc, 0, "flag off must not elide interprocedurally");
+
+    let mut e = Engine::builder()
+        .check_policy(CheckPolicy::Elide)
+        .interprocedural_elision(true)
+        .build()
+        .unwrap();
+    e.reset_metrics();
+    let got = e.eval(HELPER_CHAIN).unwrap().to_string();
+    assert_eq!(got, want, "elision must not change results");
+    let m = e.metrics().clone();
+    // One sumsq site per iteration; the sq sites inside sumsq are direct
+    // leaf elisions either way. 10k iterations set the floor.
+    assert!(
+        m.checks_elided_interproc >= 10_000,
+        "interproc elisions: {}",
+        m.checks_elided_interproc
+    );
+    assert!(
+        m.checks_executed + 10_000 <= mb.checks_executed,
+        "checks must drop by at least the interproc sites: {} vs {}",
+        m.checks_executed,
+        mb.checks_executed
+    );
+    // Interproc elisions are a subset of all elisions by definition.
+    assert!(m.checks_elided_interproc <= m.checks_elided);
+}
+
+/// Inline-cache gate: a hot global-recursion workload must run almost
+/// entirely out of the caches, and the fused call superinstructions must
+/// carry the traffic.
+#[test]
+fn inline_caches_hit_in_steady_state() {
+    let mut e = Engine::new().unwrap();
+    e.reset_metrics();
+    e.eval("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 20)").unwrap();
+    let m = e.metrics().clone();
+    assert!(m.ic_hits > 10_000, "ic hits: {}", m.ic_hits);
+    assert!(m.ic_misses < m.ic_hits / 100, "ic misses: {} vs hits {}", m.ic_misses, m.ic_hits);
+    assert!(
+        m.superinstructions_dispatched > m.ic_hits,
+        "fused ops must carry the hot path: {} vs {}",
+        m.superinstructions_dispatched,
+        m.ic_hits
+    );
+}
+
+/// Invalidation gate: redefining or assigning a cached global operator
+/// must miss (and refill) on the next dispatch, never serve the stale
+/// callee.
+#[test]
+fn inline_caches_invalidate_on_global_redefinition() {
+    let mut e = Engine::new().unwrap();
+    e.eval("(define (f) 1) (define (caller) (f))").unwrap();
+    assert_eq!(e.eval_to_string("(caller)").unwrap(), "1");
+    assert_eq!(e.eval_to_string("(caller)").unwrap(), "1"); // warm the cache
+    let warm_misses = e.metrics().ic_misses;
+    e.eval("(define (f) 2)").unwrap();
+    assert_eq!(e.eval_to_string("(caller)").unwrap(), "2", "stale cache served");
+    assert!(
+        e.metrics().ic_misses > warm_misses,
+        "redefinition must force a miss: {} vs {}",
+        e.metrics().ic_misses,
+        warm_misses
     );
 }

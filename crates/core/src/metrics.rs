@@ -59,6 +59,18 @@ pub struct Metrics {
     /// Call sites that skipped the overflow check thanks to the two-frame
     /// reserve (leaf procedures, tail loops; §5).
     pub checks_elided: u64,
+    /// Subset of `checks_elided` proved safe by the interprocedural
+    /// bounded-depth analysis (whole proven subgraphs, not just leaf
+    /// bodies). Always also counted in `checks_elided`.
+    pub checks_elided_interproc: u64,
+    /// Fused superinstructions dispatched (each replaces two or more
+    /// plain opcodes on the interpreter hot path).
+    pub superinstructions_dispatched: u64,
+    /// Inline-cache hits at global-operator call sites.
+    pub ic_hits: u64,
+    /// Inline-cache misses (first execution or invalidated by a global
+    /// redefinition) at global-operator call sites.
+    pub ic_misses: u64,
 }
 
 impl Metrics {
@@ -94,7 +106,7 @@ impl Metrics {
 
     /// Every counter, in the fixed field order used by
     /// [`Metrics::FIELD_NAMES`].
-    pub fn fields(&self) -> [u64; 18] {
+    pub fn fields(&self) -> [u64; 22] {
         [
             self.calls,
             self.tail_calls,
@@ -114,10 +126,14 @@ impl Metrics {
             self.stack_records_allocated,
             self.checks_executed,
             self.checks_elided,
+            self.checks_elided_interproc,
+            self.superinstructions_dispatched,
+            self.ic_hits,
+            self.ic_misses,
         ]
     }
 
-    fn fields_mut(&mut self) -> [&mut u64; 18] {
+    fn fields_mut(&mut self) -> [&mut u64; 22] {
         [
             &mut self.calls,
             &mut self.tail_calls,
@@ -137,11 +153,15 @@ impl Metrics {
             &mut self.stack_records_allocated,
             &mut self.checks_executed,
             &mut self.checks_elided,
+            &mut self.checks_elided_interproc,
+            &mut self.superinstructions_dispatched,
+            &mut self.ic_hits,
+            &mut self.ic_misses,
         ]
     }
 
     /// Counter names matching [`Metrics::fields`] positionally.
-    pub const FIELD_NAMES: [&'static str; 18] = [
+    pub const FIELD_NAMES: [&'static str; 22] = [
         "calls",
         "tail_calls",
         "returns",
@@ -160,6 +180,10 @@ impl Metrics {
         "stack_records_allocated",
         "checks_executed",
         "checks_elided",
+        "checks_elided_interproc",
+        "superinstructions_dispatched",
+        "ic_hits",
+        "ic_misses",
     ];
 
     /// A single-line JSON object with one member per counter, in
@@ -183,7 +207,8 @@ impl fmt::Display for Metrics {
             f,
             "calls={} tail={} rets={} captures={} reinstates={} relinked={} \
              copy-avoided={} splits={} ovf={} unf={} segs={}+{}r copied={} \
-             heap-frames={} heap-slots={} records={} checks={}/{} elided",
+             heap-frames={} heap-slots={} records={} checks={}/{} elided \
+             ({} interproc) super={} ic={}/{}",
             self.calls,
             self.tail_calls,
             self.returns,
@@ -202,6 +227,10 @@ impl fmt::Display for Metrics {
             self.stack_records_allocated,
             self.checks_executed,
             self.checks_elided,
+            self.checks_elided_interproc,
+            self.superinstructions_dispatched,
+            self.ic_hits,
+            self.ic_misses,
         )
     }
 }

@@ -399,9 +399,12 @@ impl<S: StackSlot, T: TraceSink> SegmentedStack<S, T> {
             return None;
         }
         let new_fp = top - disp;
-        // The adopted state must satisfy the machine invariant that one
-        // frame bound of reserve survives above the frame pointer (Fig. 8).
-        if new_fp + self.cfg.frame_bound() > buf_len {
+        // The adopted state must satisfy the full Figure 8 reserve — two
+        // frame bounds above the frame pointer — because the reinstated
+        // procedure may have been compiled with elided checks on the
+        // strength of a checked entry that guaranteed exactly that slack
+        // (interprocedurally elided chains consume both frames of it).
+        if new_fp + self.cfg.esp_reserve() > buf_len {
             return None;
         }
         let same_buffer = Rc::ptr_eq(&head_buf, &self.buf);
@@ -486,12 +489,23 @@ impl<S: StackSlot, T: TraceSink> SegmentedStack<S, T> {
         k: &Continuation<S>,
         owned: bool,
     ) -> Result<ReturnAddress, StackError> {
+        // Unshared owned chain: relink instead of copying. The whole
+        // switch is ~1µs of pointer swaps, so it gets exactly one packed
+        // ring write (the `Relink` event inside `try_relink`) instead of a
+        // Begin/Relink/End span — the span protocol below is reserved for
+        // the copy path, whose End event carries the realized copy cost.
+        if owned && !k.is_exit() {
+            if let Some(ra) = self.try_relink(k) {
+                self.metrics.reinstatements += 1;
+                return Ok(ra);
+            }
+        }
         if !self.sink.enabled() {
-            return self.reinstate_inner(k, owned);
+            return self.reinstate_inner(k);
         }
         // Span-paired: the end event carries the realized cost (slots
-        // copied, relinked or not) as metric deltas, so the Figure 6–7
-        // copy bound becomes a per-event assertion in the trace.
+        // copied) as a metric delta, so the Figure 6–7 copy bound becomes
+        // a per-event assertion in the trace.
         let target_size = k
             .repr()
             .as_any()
@@ -499,34 +513,20 @@ impl<S: StackSlot, T: TraceSink> SegmentedStack<S, T> {
             .map_or(0, |sk| sk.0.borrow().size as u64);
         self.sink.emit(EventKind::ReinstateBegin, target_size, owned as u64);
         let copied_before = self.metrics.slots_copied;
-        let relinked_before = self.metrics.reinstates_relinked;
-        let result = self.reinstate_inner(k, owned);
-        self.sink.emit(
-            EventKind::ReinstateEnd,
-            self.metrics.slots_copied - copied_before,
-            (self.metrics.reinstates_relinked > relinked_before) as u64,
-        );
+        let result = self.reinstate_inner(k);
+        self.sink.emit(EventKind::ReinstateEnd, self.metrics.slots_copied - copied_before, 0);
         result
     }
 
-    /// The untraced body of [`reinstate_resolved`](Self::reinstate_resolved).
-    fn reinstate_inner(
-        &mut self,
-        k: &Continuation<S>,
-        owned: bool,
-    ) -> Result<ReturnAddress, StackError> {
+    /// The copy path of [`reinstate_resolved`](Self::reinstate_resolved)
+    /// (the relink fast path has already been tried and declined).
+    fn reinstate_inner(&mut self, k: &Continuation<S>) -> Result<ReturnAddress, StackError> {
         self.metrics.reinstatements += 1;
         if k.is_exit() {
             self.buf.borrow_mut()[self.base] = S::from_return_address(ReturnAddress::Exit);
             self.fp = self.base;
             self.link = None;
             return Ok(ReturnAddress::Exit);
-        }
-        if owned {
-            // Unshared owned chain: relink instead of copying.
-            if let Some(ra) = self.try_relink(k) {
-                return Ok(ra);
-            }
         }
         // Skip through empty ablation records (size 0) to the first real
         // segment — linear in the chain, which is the ablation's point.

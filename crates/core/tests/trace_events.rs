@@ -91,8 +91,11 @@ fn event_counts_cross_check_against_metrics() {
     let ring = stack.sink();
 
     assert_eq!(ring.kind_count(EventKind::Capture), m.captures);
-    assert_eq!(ring.kind_count(EventKind::ReinstateBegin), m.reinstatements);
-    assert_eq!(ring.kind_count(EventKind::ReinstateEnd), m.reinstatements);
+    // Relinked switches write a single packed Relink event; the Begin/End
+    // span protocol covers only the copy path.
+    let copy_reinstates = m.reinstatements - m.reinstates_relinked;
+    assert_eq!(ring.kind_count(EventKind::ReinstateBegin), copy_reinstates);
+    assert_eq!(ring.kind_count(EventKind::ReinstateEnd), copy_reinstates);
     assert_eq!(ring.kind_count(EventKind::Relink), m.reinstates_relinked);
     assert_eq!(ring.kind_count(EventKind::OverflowBegin), m.overflows);
     assert_eq!(ring.kind_count(EventKind::OverflowEnd), m.overflows);
@@ -123,13 +126,11 @@ fn per_event_payloads_respect_the_paper_bounds() {
     let h = ring.histogram(EventKind::ReinstateEnd);
     assert!(h.count() > 0);
     assert!(h.max() <= bound, "a reinstatement copied {} slots; bound {bound}", h.max());
-    // A relinked reinstatement copies nothing: every ReinstateEnd with
-    // relinked=1 must carry a=0.
-    for ev in stack.sink().events() {
-        if ev.kind == EventKind::ReinstateEnd && ev.b == 1 {
-            assert_eq!(ev.a, 0, "relinked reinstatement still copied slots");
-        }
-    }
+    // A relinked reinstatement copies nothing and writes no span: its one
+    // Relink event carries the adopted size, never a copy cost.
+    let rh = ring.histogram(EventKind::Relink);
+    assert!(rh.count() > 0, "the one-shot reinstate must relink");
+    assert!(rh.max() > 0, "relink events carry the adopted segment size");
 }
 
 #[test]

@@ -183,10 +183,13 @@ fn audit_loop(
 fn cross_check_events(stack: &SegmentedStack<TestSlot, RingSink>) -> Result<(), String> {
     let m = stack.metrics();
     let ring = stack.sink();
+    // Relinked switches get a single packed `Relink` write; only the copy
+    // path opens a Begin/End span.
+    let copy_reinstates = m.reinstatements - m.reinstates_relinked;
     let exact: [(EventKind, u64); 7] = [
         (EventKind::Capture, m.captures),
-        (EventKind::ReinstateBegin, m.reinstatements),
-        (EventKind::ReinstateEnd, m.reinstatements),
+        (EventKind::ReinstateBegin, copy_reinstates),
+        (EventKind::ReinstateEnd, copy_reinstates),
         (EventKind::Relink, m.reinstates_relinked),
         (EventKind::OverflowBegin, m.overflows),
         (EventKind::OverflowEnd, m.overflows),

@@ -8,7 +8,7 @@
 //! `instrs[ra - 1]` to recover frame displacements for stack walking,
 //! continuation splitting and frame migration.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -17,7 +17,72 @@ use segstack_core::{CodeAddr, FrameSizeTable};
 
 use crate::error::SchemeError;
 use crate::intern::Symbol;
+use crate::primitives::FastOp;
 use crate::value::Value;
+
+/// How a non-tail call site treats the stack-overflow check (Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Check {
+    /// The site performs the overflow check, re-establishing the
+    /// two-frame reserve for its callee.
+    Yes,
+    /// The check is statically elided: the callee provably stays within
+    /// the reserve (leaf/prim-leaf bodies), or the `never` policy is in
+    /// force.
+    Elided,
+    /// The check is elided by the *interprocedural* bounded-depth
+    /// analysis: the whole callee subgraph was proved to stay within the
+    /// reserve. Counted separately so the win is auditable.
+    ElidedInterproc,
+}
+
+impl Check {
+    /// Whether the VM must execute the overflow check at this site.
+    pub fn performs_check(self) -> bool {
+        matches!(self, Check::Yes)
+    }
+}
+
+/// Monomorphic inline-cache target for a global-operator call site.
+///
+/// Only metadata that is `Copy` is cached; the operator *value* is still
+/// read from the global table on a hit (the version match guarantees it
+/// is the same binding the cache was filled from).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IcTarget {
+    /// Nothing cached (never executed, or the operator is uncacheable —
+    /// a continuation, a special form primitive, etc.).
+    #[default]
+    Empty,
+    /// A `PrimKind::Normal` primitive whose arity already validated for
+    /// this site's fixed argument count.
+    Prim {
+        /// Primitive table index.
+        p: u16,
+        /// Fixnum fast-path operation, if the primitive has one.
+        fast: FastOp,
+    },
+    /// A closure; arity metadata lets the hit path skip `adjust_arity`.
+    Closure {
+        /// Code chunk of the closure body.
+        chunk: u32,
+        /// Required parameter count.
+        nparams: u16,
+        /// Whether extra arguments form a rest list.
+        variadic: bool,
+    },
+}
+
+/// One inline-cache slot. Interior-mutable: chunks are shared behind
+/// `Rc` in a single-threaded engine, and the cache is pure memoization —
+/// resetting it never changes behaviour, only dispatch cost.
+#[derive(Debug, Default)]
+pub struct IcSlot {
+    /// Global-table version the cache entry was filled at.
+    pub version: Cell<u32>,
+    /// The cached target.
+    pub target: Cell<IcTarget>,
+}
 
 /// A bytecode instruction.
 ///
@@ -83,8 +148,8 @@ pub enum Instr {
         d: u16,
         /// Number of arguments staged.
         nargs: u16,
-        /// Whether this site performs the stack-overflow check.
-        check: bool,
+        /// How this site treats the stack-overflow check.
+        check: Check,
     },
     /// Tail call: operator staged at `frame[src]`, arguments after it.
     /// Always preceded by a `FrameSize` word.
@@ -93,6 +158,83 @@ pub enum Instr {
         src: u16,
         /// Number of arguments staged.
         nargs: u16,
+    },
+    /// Superinstruction: `frame[dst] = frame[src]` without touching the
+    /// accumulator (fused `LocalRef(src); LocalSet(dst)`). Only emitted
+    /// where the accumulator is provably dead.
+    Move {
+        /// Source slot.
+        src: u16,
+        /// Destination slot.
+        dst: u16,
+    },
+    /// Superinstruction: `frame[dst] = fixnum` without touching the
+    /// accumulator (fused `Fix(n); LocalSet(dst)`).
+    FixStage {
+        /// The fixnum staged.
+        n: i64,
+        /// Destination slot.
+        dst: u16,
+    },
+    /// Superinstruction: `frame[dst] = globals[g]` without touching the
+    /// accumulator (fused `GlobalRef(g); LocalSet(dst)`), erroring if
+    /// unbound.
+    GlobalStage {
+        /// Global slot.
+        g: u32,
+        /// Destination slot.
+        dst: u16,
+    },
+    /// Superinstruction: fused `GlobalRef(g); LocalSet(d+1); Call` with a
+    /// monomorphic inline cache. The VM stages the operator itself; on a
+    /// cache hit a primitive runs without the generic dispatch and a
+    /// closure call skips the arity adjustment. Framing invariants are
+    /// identical to [`Instr::Call`] (a `FrameSize` word before and
+    /// after).
+    CallGlobal {
+        /// Global slot of the operator.
+        g: u32,
+        /// Inline-cache index into [`Chunk::ics`].
+        ic: u32,
+        /// Frame displacement.
+        d: u16,
+        /// Number of arguments staged.
+        nargs: u16,
+        /// How this site treats the stack-overflow check.
+        check: Check,
+    },
+    /// Superinstruction: fused `GlobalRef(g); LocalSet(src); TailCall`
+    /// with a monomorphic inline cache. Preceded by a `FrameSize` word
+    /// like [`Instr::TailCall`].
+    TailCallGlobal {
+        /// Global slot of the operator.
+        g: u32,
+        /// Inline-cache index into [`Chunk::ics`].
+        ic: u32,
+        /// Operator slot.
+        src: u16,
+        /// Number of arguments staged.
+        nargs: u16,
+    },
+    /// Superinstruction: a [`Instr::CallGlobal`] whose return point is
+    /// immediately followed by `JumpIfFalse(target)` (fused test+branch).
+    /// The physical layout `[FrameSize, CallGlobalBr, FrameSize(d),
+    /// JumpIfFalse(target)]` is preserved, so closure returns execute the
+    /// real `JumpIfFalse` at the return point; only the inline-cached
+    /// primitive hit takes the fused branch directly.
+    CallGlobalBr {
+        /// Global slot of the operator.
+        g: u32,
+        /// Inline-cache index into [`Chunk::ics`].
+        ic: u32,
+        /// Frame displacement.
+        d: u16,
+        /// Number of arguments staged.
+        nargs: u16,
+        /// How this site treats the stack-overflow check.
+        check: Check,
+        /// Branch target taken when the primitive result is `#f`.
+        target: u32,
     },
     /// Return `acc` to the current frame's return address.
     Return,
@@ -116,6 +258,8 @@ pub struct Chunk {
     pub name: String,
     /// Maximum frame slots used (static frame size — experiment E14).
     pub frame_slots: u16,
+    /// Inline-cache slots, one per `CallGlobal`-family site.
+    pub ics: Vec<IcSlot>,
 }
 
 /// Append-only store of compiled chunks; the system's code stream.
@@ -208,7 +352,9 @@ impl CodeStore {
                 let framesize_at =
                     |j: usize| matches!(chunk.instrs.get(j), Some(Instr::FrameSize(_)));
                 match instr {
-                    Instr::Call { d, nargs, .. } => {
+                    Instr::Call { d, nargs, .. }
+                    | Instr::CallGlobal { d, nargs, .. }
+                    | Instr::CallGlobalBr { d, nargs, .. } => {
                         if i == 0 || !framesize_at(i - 1) {
                             err(i, "call not preceded by a frame-size word".into());
                         }
@@ -225,14 +371,76 @@ impl CodeStore {
                                 ),
                             );
                         }
+                        if let Instr::CallGlobal { ic, .. } | Instr::CallGlobalBr { ic, .. } = instr
+                        {
+                            if *ic as usize >= chunk.ics.len() {
+                                err(
+                                    i,
+                                    format!(
+                                        "inline-cache index {ic} outside table of {}",
+                                        chunk.ics.len()
+                                    ),
+                                );
+                            }
+                        }
+                        if let Instr::CallGlobalBr { target, .. } = instr {
+                            if *target as usize > n {
+                                err(i, format!("fused branch target {target} outside chunk"));
+                            }
+                            match chunk.instrs.get(i + 2) {
+                                Some(Instr::JumpIfFalse(t)) if t == target => {}
+                                other => err(
+                                    i,
+                                    format!(
+                                        "fused test+branch return point is not the matching \
+                                         JumpIfFalse({target}) (found {other:?})"
+                                    ),
+                                ),
+                            }
+                        }
                     }
-                    Instr::TailCall { src, nargs } => {
+                    Instr::TailCall { src, nargs } | Instr::TailCallGlobal { src, nargs, .. } => {
                         if i == 0 || !framesize_at(i - 1) {
                             err(i, "tail call not preceded by a frame-size word".into());
                         }
                         if usize::from(src + 1 + nargs) > usize::from(chunk.frame_slots) {
                             err(i, "tail call stages beyond the recorded frame size".into());
                         }
+                        if let Instr::TailCallGlobal { ic, .. } = instr {
+                            if *ic as usize >= chunk.ics.len() {
+                                err(
+                                    i,
+                                    format!(
+                                        "inline-cache index {ic} outside table of {}",
+                                        chunk.ics.len()
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    Instr::Move { src, dst } => {
+                        for slot in [src, dst] {
+                            if usize::from(*slot) >= usize::from(chunk.frame_slots) {
+                                err(
+                                    i,
+                                    format!(
+                                        "move slot {slot} beyond recorded frame size {}",
+                                        chunk.frame_slots
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    Instr::FixStage { dst, .. } | Instr::GlobalStage { dst, .. }
+                        if usize::from(*dst) >= usize::from(chunk.frame_slots) =>
+                    {
+                        err(
+                            i,
+                            format!(
+                                "staged slot {dst} beyond recorded frame size {}",
+                                chunk.frame_slots
+                            ),
+                        );
                     }
                     Instr::Jump(t) | Instr::JumpIfFalse(t) if *t as usize > n => {
                         err(i, format!("jump target {t} outside chunk of {n}"));
@@ -286,6 +494,9 @@ impl FrameSizeTable for CodeStore {
 pub struct Globals {
     names: Vec<Symbol>,
     values: Vec<Option<Value>>,
+    /// Per-slot write version, bumped on every `define`/`set!` — the
+    /// invalidation signal for inline caches keyed on a global operator.
+    versions: Vec<u32>,
     map: HashMap<Symbol, u32>,
 }
 
@@ -303,6 +514,7 @@ impl Globals {
         let id = self.names.len() as u32;
         self.names.push(name);
         self.values.push(None);
+        self.versions.push(0);
         self.map.insert(name, id);
         id
     }
@@ -337,12 +549,21 @@ impl Globals {
             )));
         }
         *slot = Some(v);
+        self.versions[g as usize] = self.versions[g as usize].wrapping_add(1);
         Ok(())
     }
 
     /// Defines (or redefines) global `g`.
     pub fn define(&mut self, g: u32, v: Value) {
         self.values[g as usize] = Some(v);
+        self.versions[g as usize] = self.versions[g as usize].wrapping_add(1);
+    }
+
+    /// The write version of slot `g` (bumped on every `define`/`set!`).
+    /// Inline caches record the version they were filled at and treat any
+    /// difference as an invalidation.
+    pub fn version(&self, g: u32) -> u32 {
+        self.versions[g as usize]
     }
 
     /// The name of global slot `g`.
@@ -396,6 +617,7 @@ mod tests {
             variadic: false,
             name: "t".into(),
             frame_slots: 1,
+            ics: Vec::new(),
         });
         assert_eq!(id, 0);
         assert_eq!(store.len(), 1);
@@ -409,7 +631,7 @@ mod tests {
         let id = store.add(Chunk {
             instrs: vec![
                 Instr::FrameSize(9),
-                Instr::Call { d: 3, nargs: 1, check: true },
+                Instr::Call { d: 3, nargs: 1, check: Check::Yes },
                 Instr::FrameSize(3),
                 Instr::Return, // return point at offset 3
             ],
@@ -418,6 +640,7 @@ mod tests {
             variadic: false,
             name: "t".into(),
             frame_slots: 6,
+            ics: Vec::new(),
         });
         assert_eq!(store.displacement(CodeAddr::new(id, 3)), 3);
         assert_eq!(store.displacement(CodeAddr::new(id, 1)), 9);
@@ -434,6 +657,7 @@ mod tests {
             variadic: false,
             name: "t".into(),
             frame_slots: 1,
+            ics: Vec::new(),
         });
         store.displacement(CodeAddr::new(id, 1));
     }
@@ -465,6 +689,7 @@ mod tests {
             variadic: true,
             name: "f".into(),
             frame_slots: 3,
+            ics: Vec::new(),
         };
         let listing = c.to_string();
         assert!(listing.contains("chunk \"f\""));

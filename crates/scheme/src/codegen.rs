@@ -17,9 +17,10 @@
 
 use std::fmt;
 
-use crate::code::{Chunk, CodeStore, Instr};
+use crate::code::{Check, Chunk, CodeStore, IcSlot, Instr};
 use crate::error::SchemeError;
 use crate::expand::Expander;
+use crate::interproc::InterprocDecisions;
 use crate::primitives::PrimKind;
 use crate::resolve::{resolve_toplevel, Capture, RExpr, RLambda, PARAM_BASE};
 use crate::value::Value;
@@ -60,6 +61,15 @@ pub struct CompileOptions {
     /// is no longer justified by the compile-time analysis, hence the
     /// opt-in default of `false`.
     pub stable_primitive_bindings: bool,
+    /// Under [`CheckPolicy::Elide`], additionally run the
+    /// [interprocedural bounded-depth analysis](crate::interproc) and
+    /// elide the overflow check at every call site it proves stays
+    /// within the two-frame reserve transitively — whole proven
+    /// subgraphs rather than single leaf bodies. Carries the same
+    /// compile-time-bindings promise as `stable_primitive_bindings`
+    /// (globals resolved by the analysis are never rebound), hence the
+    /// opt-in default of `false`.
+    pub interprocedural_elision: bool,
 }
 
 impl Default for CompileOptions {
@@ -68,6 +78,7 @@ impl Default for CompileOptions {
             policy: CheckPolicy::default(),
             frame_bound: 64,
             stable_primitive_bindings: false,
+            interprocedural_elision: false,
         }
     }
 }
@@ -88,18 +99,24 @@ pub fn compile_toplevel(
     let ast = expander.expand_toplevel(datum)?;
     let rexpr = resolve_toplevel(&ast, globals)?;
     let globals = &*globals;
-    let mut g = Gen { store, opts, globals, instrs: Vec::new(), consts: Vec::new(), max_stage: 1 };
+    let interproc = if opts.interprocedural_elision && opts.policy == CheckPolicy::Elide {
+        Some(crate::interproc::analyze(&rexpr, globals, opts.frame_bound))
+    } else {
+        None
+    };
+    let mut g = Gen {
+        store,
+        opts,
+        globals,
+        interproc: interproc.as_ref(),
+        instrs: Vec::new(),
+        consts: Vec::new(),
+        max_stage: 1,
+        ics: 0,
+    };
     g.gen_tail(&rexpr, 1)?;
-    let frame_slots = g.max_stage;
     let name = format!("toplevel-{}", store.len());
-    Ok(store.add(Chunk {
-        instrs: g.instrs,
-        consts: g.consts,
-        nparams: 0,
-        variadic: false,
-        name,
-        frame_slots,
-    }))
+    Ok(store.add(g.finish(name, 0, false)))
 }
 
 struct Gen<'a> {
@@ -108,9 +125,13 @@ struct Gen<'a> {
     /// Global bindings as of compilation time, consulted by the
     /// `stable_primitive_bindings` check-elision analysis.
     globals: &'a crate::code::Globals,
+    /// Interprocedural elision decisions for this unit, when enabled.
+    interproc: Option<&'a InterprocDecisions>,
     instrs: Vec<Instr>,
     consts: Vec<Value>,
     max_stage: u16,
+    /// Inline-cache slots allocated so far in this chunk.
+    ics: u32,
 }
 
 impl Gen<'_> {
@@ -127,9 +148,11 @@ impl Gen<'_> {
             store: self.store,
             opts: self.opts,
             globals: self.globals,
+            interproc: self.interproc,
             instrs: Vec::new(),
             consts: Vec::new(),
             max_stage: wm,
+            ics: 0,
         };
         for (i, boxed) in l.boxed_params.iter().enumerate() {
             if *boxed {
@@ -137,19 +160,35 @@ impl Gen<'_> {
             }
         }
         g.gen_tail(&l.body, wm)?;
-        let frame_slots = g.max_stage;
         let name = l.name.map(|s| s.as_str()).unwrap_or_else(|| "lambda".into());
-        Ok(self.store.add(Chunk {
-            instrs: g.instrs,
-            consts: g.consts,
-            nparams: l.nparams,
-            variadic: l.variadic,
-            name,
-            frame_slots,
-        }))
+        Ok(self.store.add(g.finish(name, l.nparams, l.variadic)))
     }
 
-    fn stage(&mut self, slot: u16) -> Result<(), SchemeError> {
+    /// Fuses trailing test+branch pairs and packages the finished chunk.
+    fn finish(self, name: String, nparams: u16, variadic: bool) -> Chunk {
+        let mut instrs = self.instrs;
+        fuse_test_branches(&mut instrs);
+        Chunk {
+            instrs,
+            consts: self.consts,
+            nparams,
+            variadic,
+            name,
+            frame_slots: self.max_stage,
+            ics: (0..self.ics).map(|_| IcSlot::default()).collect(),
+        }
+    }
+
+    /// Allocates an inline-cache slot for a `CallGlobal`-family site.
+    fn new_ic(&mut self) -> u32 {
+        let ic = self.ics;
+        self.ics += 1;
+        ic
+    }
+
+    /// Checks the frame bound and records the high-water mark for a slot
+    /// about to be written.
+    fn reserve(&mut self, slot: u16) -> Result<(), SchemeError> {
         let top = slot + 1;
         if top as usize > self.opts.frame_bound {
             return Err(SchemeError::compile(format!(
@@ -159,8 +198,41 @@ impl Gen<'_> {
             )));
         }
         self.max_stage = self.max_stage.max(top);
+        Ok(())
+    }
+
+    fn stage(&mut self, slot: u16) -> Result<(), SchemeError> {
+        self.reserve(slot)?;
         self.instrs.push(Instr::LocalSet(slot));
         Ok(())
+    }
+
+    /// Evaluates `e` directly into `frame[slot]`. Simple operands fuse
+    /// the value and the store into one superinstruction that bypasses
+    /// the accumulator — sound here because every staging context
+    /// overwrites the accumulator before it is next read.
+    fn gen_staged(&mut self, e: &RExpr, slot: u16) -> Result<(), SchemeError> {
+        match e {
+            RExpr::Quote(Value::Fixnum(n)) => {
+                self.reserve(slot)?;
+                self.instrs.push(Instr::FixStage { n: *n, dst: slot });
+                Ok(())
+            }
+            RExpr::LocalRef(s) => {
+                self.reserve(slot)?;
+                self.instrs.push(Instr::Move { src: *s, dst: slot });
+                Ok(())
+            }
+            RExpr::GlobalRef(g) => {
+                self.reserve(slot)?;
+                self.instrs.push(Instr::GlobalStage { g: *g, dst: slot });
+                Ok(())
+            }
+            _ => {
+                self.gen(e, slot)?;
+                self.stage(slot)
+            }
+        }
     }
 
     fn constant(&mut self, v: &Value) {
@@ -254,14 +326,24 @@ impl Gen<'_> {
             RExpr::Call(op, args) => {
                 let d = wm;
                 let nargs = args.len() as u16;
-                self.gen(op, d + 1)?;
-                self.stage(d + 1)?;
-                for (j, a) in args.iter().enumerate() {
-                    let slot = d + 2 + j as u16;
-                    self.gen(a, slot)?;
-                    self.stage(slot)?;
+                let check = self.check_for(e, op);
+                if let Some(g) = self.ic_operator(op) {
+                    // Operator staging is folded into the call itself;
+                    // the slot is still part of the frame.
+                    self.reserve(d + 1)?;
+                    for (j, a) in args.iter().enumerate() {
+                        self.gen_staged(a, d + 2 + j as u16)?;
+                    }
+                    let ic = self.new_ic();
+                    self.instrs.push(Instr::FrameSize(u32::from(d + 2 + nargs)));
+                    self.instrs.push(Instr::CallGlobal { g, ic, d, nargs, check });
+                    self.instrs.push(Instr::FrameSize(u32::from(d)));
+                    return Ok(());
                 }
-                let check = self.check_for(op);
+                self.gen_staged(op, d + 1)?;
+                for (j, a) in args.iter().enumerate() {
+                    self.gen_staged(a, d + 2 + j as u16)?;
+                }
                 // Re-entry word for timer interrupts: a handler frame is
                 // pushed above the staged partial frame.
                 self.instrs.push(Instr::FrameSize(u32::from(d + 2 + nargs)));
@@ -300,12 +382,19 @@ impl Gen<'_> {
                 // src ≥ 2 + nargs keeps the staged slots disjoint from the
                 // target slots 1..=1+nargs of the frame reuse shuffle.
                 let d = wm.max(1 + nargs);
-                self.gen(op, d + 1)?;
-                self.stage(d + 1)?;
+                if let Some(g) = self.ic_operator(op) {
+                    self.reserve(d + 1)?;
+                    for (j, a) in args.iter().enumerate() {
+                        self.gen_staged(a, d + 2 + j as u16)?;
+                    }
+                    let ic = self.new_ic();
+                    self.instrs.push(Instr::FrameSize(u32::from(d + 2 + nargs)));
+                    self.instrs.push(Instr::TailCallGlobal { g, ic, src: d + 1, nargs });
+                    return Ok(());
+                }
+                self.gen_staged(op, d + 1)?;
                 for (j, a) in args.iter().enumerate() {
-                    let slot = d + 2 + j as u16;
-                    self.gen(a, slot)?;
-                    self.stage(slot)?;
+                    self.gen_staged(a, d + 2 + j as u16)?;
                 }
                 self.instrs.push(Instr::FrameSize(u32::from(d + 2 + nargs)));
                 self.instrs.push(Instr::TailCall { src: d + 1, nargs });
@@ -323,28 +412,59 @@ impl Gen<'_> {
         let chunk = self.compile_lambda(l)?;
         let nfree = l.captures.len() as u16;
         for (i, cap) in l.captures.iter().enumerate() {
+            let dst = wm + i as u16;
             match cap {
-                Capture::Local(slot) => self.instrs.push(Instr::LocalRef(*slot)),
-                Capture::Free(idx) => self.instrs.push(Instr::FreeRef(*idx)),
+                Capture::Local(slot) => {
+                    self.reserve(dst)?;
+                    self.instrs.push(Instr::Move { src: *slot, dst });
+                }
+                Capture::Free(idx) => {
+                    self.instrs.push(Instr::FreeRef(*idx));
+                    self.stage(dst)?;
+                }
             }
-            self.stage(wm + i as u16)?;
         }
         self.instrs.push(Instr::MakeClosure { chunk, src: wm, nfree });
         Ok(())
     }
 
-    /// The §5 check-elision decision for one call site.
-    fn check_for(&self, op: &RExpr) -> bool {
+    /// Can this operator go through the inline-cached `CallGlobal`
+    /// family? Globals currently bound to VM-dispatched special
+    /// primitives (`call/cc`, `apply`, the timer hooks, …) stay on the
+    /// generic path: they can never be cached, so an IC site would count
+    /// a miss on every execution.
+    fn ic_operator(&self, op: &RExpr) -> Option<u32> {
+        let RExpr::GlobalRef(g) = op else { return None };
+        match self.globals.get(*g) {
+            Ok(Value::Primitive(p))
+                if !matches!(crate::primitives::def_of(p).kind, PrimKind::Normal(_)) =>
+            {
+                None
+            }
+            _ => Some(*g),
+        }
+    }
+
+    /// The §5 check-elision decision for one call site. `site` is the
+    /// `RExpr::Call` node itself (the interprocedural analysis keys its
+    /// decisions on it), `op` its operator.
+    fn check_for(&self, site: &RExpr, op: &RExpr) -> Check {
         match self.opts.policy {
-            CheckPolicy::Always => true,
-            CheckPolicy::Never => false,
-            CheckPolicy::Elide => match op {
-                RExpr::Lambda(l) => {
-                    !(l.leaf
-                        || (self.opts.stable_primitive_bindings && self.prim_leaf_body(&l.body)))
+            CheckPolicy::Always => Check::Yes,
+            CheckPolicy::Never => Check::Elided,
+            CheckPolicy::Elide => {
+                if let RExpr::Lambda(l) = op {
+                    if l.leaf
+                        || (self.opts.stable_primitive_bindings && self.prim_leaf_body(&l.body))
+                    {
+                        return Check::Elided;
+                    }
                 }
-                _ => true,
-            },
+                if self.interproc.is_some_and(|ip| ip.should_elide(site)) {
+                    return Check::ElidedInterproc;
+                }
+                Check::Yes
+            }
         }
     }
 
@@ -402,6 +522,24 @@ impl Gen<'_> {
     }
 }
 
+/// Rewrites `[CallGlobal, FrameSize(d), JumpIfFalse(t)]` runs into the
+/// fused `CallGlobalBr` in place. No instruction is removed or moved, so
+/// jump targets stay valid: closure returns still land on the real
+/// `JumpIfFalse`, and only the inline-cached primitive hit takes the
+/// fused branch. Runs after jump patching, when branch targets are
+/// final.
+fn fuse_test_branches(instrs: &mut [Instr]) {
+    for i in 0..instrs.len() {
+        let Instr::CallGlobal { g, ic, d, nargs, check } = instrs[i] else { continue };
+        if matches!(instrs.get(i + 1), Some(Instr::FrameSize(_))) {
+            if let Some(Instr::JumpIfFalse(t)) = instrs.get(i + 2) {
+                let target = *t;
+                instrs[i] = Instr::CallGlobalBr { g, ic, d, nargs, check, target };
+            }
+        }
+    }
+}
+
 impl fmt::Display for CheckPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -451,8 +589,10 @@ mod tests {
     fn call_emits_frame_size_words_around_it() {
         let (store, _, id) = compile("(f 1 2)");
         let c = store.chunk(id);
-        // Tail position at top level → TailCall preceded by FrameSize.
-        let tc = c.instrs.iter().position(|i| matches!(i, Instr::TailCall { .. })).unwrap();
+        // Tail position at top level; the unbound-global operator goes
+        // through the inline-cached superinstruction, still preceded by
+        // its FrameSize word.
+        let tc = c.instrs.iter().position(|i| matches!(i, Instr::TailCallGlobal { .. })).unwrap();
         assert!(matches!(c.instrs[tc - 1], Instr::FrameSize(_)));
     }
 
@@ -463,10 +603,10 @@ mod tests {
         let call_at = c
             .instrs
             .iter()
-            .position(|i| matches!(i, Instr::Call { .. }))
+            .position(|i| matches!(i, Instr::CallGlobal { .. }))
             .expect("inner call is non-tail");
         assert!(matches!(c.instrs[call_at - 1], Instr::FrameSize(_)), "re-entry word");
-        let Instr::Call { d, nargs, .. } = c.instrs[call_at] else { unreachable!() };
+        let Instr::CallGlobal { d, nargs, .. } = c.instrs[call_at] else { unreachable!() };
         assert_eq!(c.instrs[call_at + 1], Instr::FrameSize(u32::from(d)));
         assert_eq!(nargs, 1);
     }
@@ -511,19 +651,20 @@ mod tests {
             unreachable!()
         };
         let outer = store.chunk(outer_chunk);
-        // Outer body: LocalRef(2); LocalSet(3); MakeClosure{src:3,nfree:1}; Return
-        assert_eq!(outer.instrs[0], Instr::LocalRef(2));
-        assert_eq!(outer.instrs[1], Instr::LocalSet(3));
-        assert!(matches!(outer.instrs[2], Instr::MakeClosure { nfree: 1, src: 3, .. }));
+        // Outer body: Move{2→3}; MakeClosure{src:3,nfree:1}; Return
+        assert_eq!(outer.instrs[0], Instr::Move { src: 2, dst: 3 });
+        assert!(matches!(outer.instrs[1], Instr::MakeClosure { nfree: 1, src: 3, .. }));
     }
 
     #[test]
     fn check_policy_always_vs_never() {
-        for (policy, expect) in [(CheckPolicy::Always, true), (CheckPolicy::Never, false)] {
+        for (policy, expect) in
+            [(CheckPolicy::Always, Check::Yes), (CheckPolicy::Never, Check::Elided)]
+        {
             let (store, _, id) = compile_with("(g (f 1))", policy);
             let c = store.chunk(id);
-            let Some(Instr::Call { check, .. }) =
-                c.instrs.iter().find(|i| matches!(i, Instr::Call { .. }))
+            let Some(Instr::CallGlobal { check, .. }) =
+                c.instrs.iter().find(|i| matches!(i, Instr::CallGlobal { .. }))
             else {
                 unreachable!()
             };
@@ -536,7 +677,7 @@ mod tests {
         // ((lambda (x) x) (f 1)) — outer call is direct to a leaf.
         let (store, _, id) = compile("(g ((lambda (x) x) 1))");
         let c = store.chunk(id);
-        let checks: Vec<bool> = c
+        let checks: Vec<Check> = c
             .instrs
             .iter()
             .filter_map(|i| match i {
@@ -544,7 +685,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(checks, vec![false], "direct leaf application is uncheck");
+        assert_eq!(checks, vec![Check::Elided], "direct leaf application is uncheck");
     }
 
     #[test]
@@ -554,7 +695,7 @@ mod tests {
         // body contains a call, so the lambda is not a leaf); with the
         // stable-bindings promise the prim-leaf analysis removes it.
         let src = "(g (let ((t 1)) (* t t)))";
-        for (stable, expect) in [(false, true), (true, false)] {
+        for (stable, expect) in [(false, Check::Yes), (true, Check::Elided)] {
             let store = CodeStore::new();
             let mut globals = Globals::new();
             crate::primitives::install(&mut globals);
@@ -568,7 +709,7 @@ mod tests {
                 compile_toplevel(&read_one(src).unwrap(), &mut ex, &store, &mut globals, &opts)
                     .unwrap();
             let c = store.chunk(id);
-            let checks: Vec<bool> = c
+            let checks: Vec<Check> = c
                 .instrs
                 .iter()
                 .filter_map(|i| match i {
@@ -602,7 +743,7 @@ mod tests {
         )
         .unwrap();
         let c = store.chunk(id);
-        let checks: Vec<bool> = c
+        let checks: Vec<Check> = c
             .instrs
             .iter()
             .filter_map(|i| match i {
@@ -610,7 +751,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(checks, vec![true], "non-primitive callee keeps its check");
+        assert_eq!(checks, vec![Check::Yes], "non-primitive callee keeps its check");
     }
 
     #[test]

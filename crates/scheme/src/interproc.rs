@@ -1,0 +1,540 @@
+//! Interprocedural bounded-depth overflow-check elision.
+//!
+//! The paper's §5/Figure 8 argument elides the overflow check at call
+//! sites whose callee provably stays inside the two-frame reserve. The
+//! base compiler proves that only for *direct* applications of leaf (or
+//! prim-leaf) lambdas. This module makes the reserve transitive through
+//! the static call graph: it computes, for every lambda body in a
+//! compilation unit, the maximum *unchecked frame displacement* the body
+//! can accumulate above its entry point, and then elides any call site
+//! whose own displacement plus the callee's accumulated maximum still
+//! fits in one frame bound.
+//!
+//! # The height function
+//!
+//! Let `B` be the frame bound (so the reserve is `2B` slots, and a
+//! checked call guarantees its callee at least `2B` of slack). For each
+//! known body `ℓ` define `A(ℓ) ∈ {0..B, ∞}` as the least fixpoint of
+//!
+//! * non-tail call to a known body `t` at displacement `d`: contributes
+//!   `d + A(t)` (capped to `∞` past `B`) — optimistic, as if the site
+//!   were elided;
+//! * non-tail call to an ordinary primitive: contributes `0` (primitives
+//!   are leaf routines: no frame, §5);
+//! * non-tail call to an unknown operator: contributes `0` — such sites
+//!   are never elided, and the executed check re-establishes the full
+//!   reserve for everything below;
+//! * non-tail call to a poison primitive (`call/cc`, `call/1cc`,
+//!   `apply`, `eval`): contributes `∞` — reinstated or spread control is
+//!   outside the static graph;
+//! * tail call to a known body `t`: contributes `A(t)` (the frame is
+//!   reused, so no displacement is added);
+//! * tail call to an ordinary primitive: contributes `0`;
+//! * tail call to an unknown operator or poison primitive: contributes
+//!   `∞`. This case is load-bearing: a tail call keeps the current
+//!   frame pointer, so whatever slack the region has already consumed
+//!   would be *inherited* by arbitrary callee code whose own leaf
+//!   elisions assume a freshly-checked entry.
+//!
+//! The lattice is finite and every rule is monotone, so the iteration
+//! terminates. A site at displacement `d` calling known body `t` is then
+//! elided iff `d + A(t) ≤ B`: along any chain of elided calls the
+//! running displacement sum is bounded by `B`, so from an entry with the
+//! checked `2B` of slack every frame in the chain keeps the audited
+//! one-frame reserve `fp + B ≤ end`.
+//!
+//! # Known targets
+//!
+//! A call target is *known* when the operator is a direct lambda, or a
+//! global that (a) this unit defines exactly once, to a lambda, and
+//! never `set!`s, and (b) is unbound at compile time (so the unit's own
+//! `define` is the only binding that can ever be live at the site).
+//! Operators bound to primitives in the global table are trusted only if
+//! the unit neither defines nor assigns them — the same compile-time
+//! promise as `stable_primitive_bindings`, and the reason the analysis
+//! sits behind its own opt-in flag.
+//!
+//! Bodies containing a poison site never have *their* interior sites
+//! elided, even when a sub-region would be provable — the conservative
+//! "bail on `call/cc`" posture: capture can re-enter such a body with a
+//! reinstated stack whose slack the analysis never saw.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::code::Globals;
+use crate::primitives::{def_of, PrimKind};
+use crate::resolve::{RExpr, RLambda, PARAM_BASE};
+use crate::value::Value;
+
+/// The `∞` of the height lattice.
+const INF: u64 = u64::MAX;
+
+/// Identity of an AST node, stable for the lifetime of the resolved
+/// tree (which outlives code generation).
+fn node_key(e: &RExpr) -> usize {
+    e as *const RExpr as usize
+}
+
+/// The analysis result: the set of call sites proved elidable.
+#[derive(Debug)]
+pub struct InterprocDecisions {
+    elide: HashSet<usize>,
+    bodies: usize,
+}
+
+impl InterprocDecisions {
+    /// Whether the analysis proved this `RExpr::Call` node's overflow
+    /// check elidable. `site` must be a node of the same resolved tree
+    /// the analysis ran on.
+    pub fn should_elide(&self, site: &RExpr) -> bool {
+        self.elide.contains(&node_key(site))
+    }
+
+    /// Number of sites proved elidable.
+    pub fn elided_sites(&self) -> usize {
+        self.elide.len()
+    }
+
+    /// Number of bodies analyzed (lambdas plus the toplevel form).
+    pub fn bodies(&self) -> usize {
+        self.bodies
+    }
+}
+
+/// What a call site's operator resolves to, before bodies are indexed.
+enum RawTarget {
+    /// A lambda in this unit, by `RLambda` address.
+    Lambda(usize),
+    /// A global slot, classified during resolution.
+    Global(u32),
+    /// Anything else (computed operators, locals, captures).
+    Unknown,
+}
+
+/// A call site recorded during the mirror walk.
+struct SiteRec {
+    key: usize,
+    d: u16,
+    tail: bool,
+    target: RawTarget,
+}
+
+/// One analyzed body (a lambda's, or the toplevel form's).
+struct BodyInfo {
+    sites: Vec<SiteRec>,
+}
+
+/// Final per-site classification.
+#[derive(Clone, Copy)]
+enum Target {
+    Known(usize),
+    Prim,
+    Poison,
+    Unknown,
+}
+
+struct Analyzer<'a> {
+    globals: &'a Globals,
+    /// `RLambda` address → body index (body 0 is the toplevel form).
+    body_ix: HashMap<usize, usize>,
+    bodies: Vec<BodyInfo>,
+}
+
+/// Runs the analysis over one resolved toplevel form.
+pub fn analyze(unit: &RExpr, globals: &Globals, frame_bound: usize) -> InterprocDecisions {
+    // Pass 1: stable unit-level lambda definitions and touched globals.
+    let mut defs: HashMap<u32, usize> = HashMap::new();
+    let mut touched: HashSet<u32> = HashSet::new();
+    collect_defs(unit, &mut defs, &mut touched);
+
+    // Pass 2: mirror the code generator's displacement arithmetic to
+    // record every call site with the displacement it will be emitted at.
+    let mut a = Analyzer { globals, body_ix: HashMap::new(), bodies: Vec::new() };
+    a.bodies.push(BodyInfo { sites: Vec::new() });
+    a.walk(0, unit, 1, true);
+
+    // Resolve raw targets now that every unit lambda has an index.
+    let resolve = |raw: &RawTarget| -> Target {
+        match raw {
+            RawTarget::Lambda(ptr) => {
+                a.body_ix.get(ptr).map_or(Target::Unknown, |&ix| Target::Known(ix))
+            }
+            RawTarget::Global(g) => {
+                if let Some(ptr) = defs.get(g) {
+                    // Known only while the unit's own define is the sole
+                    // binding that can be live: unbound before this unit
+                    // runs, never assigned inside it.
+                    if !a.globals.is_bound(*g) {
+                        return a.body_ix.get(ptr).map_or(Target::Unknown, |&ix| Target::Known(ix));
+                    }
+                    return Target::Unknown;
+                }
+                if touched.contains(g) {
+                    return Target::Unknown;
+                }
+                match a.globals.get(*g) {
+                    Ok(Value::Primitive(p)) => match def_of(p).kind {
+                        PrimKind::CallCC | PrimKind::CallCC1 | PrimKind::Apply | PrimKind::Eval => {
+                            Target::Poison
+                        }
+                        // Every other kind completes without pushing a
+                        // Scheme frame (timer arming is a slot write; the
+                        // handler frame itself is pushed by a *checked*
+                        // call when the timer fires).
+                        _ => Target::Prim,
+                    },
+                    _ => Target::Unknown,
+                }
+            }
+            RawTarget::Unknown => Target::Unknown,
+        }
+    };
+
+    let n = a.bodies.len();
+    let resolved: Vec<Vec<(usize, u16, bool, Target)>> = a
+        .bodies
+        .iter()
+        .map(|b| b.sites.iter().map(|s| (s.key, s.d, s.tail, resolve(&s.target))).collect())
+        .collect();
+    let poisoned: Vec<bool> = resolved
+        .iter()
+        .map(|sites| sites.iter().any(|(_, _, _, t)| matches!(t, Target::Poison)))
+        .collect();
+
+    // Least fixpoint of the height function on {0..B, ∞}.
+    let b = frame_bound as u64;
+    let mut av = vec![0u64; n];
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let mut acc: u64 = 0;
+            for (_, d, tail, target) in &resolved[i] {
+                let c = match (tail, target) {
+                    (false, Target::Known(t)) => (*d as u64).saturating_add(av[*t]),
+                    (false, Target::Prim) | (false, Target::Unknown) => 0,
+                    (false, Target::Poison) => INF,
+                    (true, Target::Known(t)) => av[*t],
+                    (true, Target::Prim) => 0,
+                    (true, Target::Poison) | (true, Target::Unknown) => INF,
+                };
+                acc = acc.max(c);
+            }
+            if acc > b {
+                acc = INF;
+            }
+            if av[i] != acc {
+                av[i] = acc;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Gate: elide non-tail known-target sites whose displacement plus the
+    // callee's height fits the bound, outside poisoned bodies.
+    let mut elide = HashSet::new();
+    for i in 0..n {
+        if poisoned[i] {
+            continue;
+        }
+        for (key, d, tail, target) in &resolved[i] {
+            if *tail {
+                continue;
+            }
+            if let Target::Known(t) = target {
+                if (*d as u64).saturating_add(av[*t]) <= b {
+                    elide.insert(*key);
+                }
+            }
+        }
+    }
+    InterprocDecisions { elide, bodies: n }
+}
+
+/// Pass 1: `defs` maps globals defined exactly once, to a lambda, and
+/// never `set!`, to that lambda's address; `touched` is every global the
+/// unit defines or assigns at all.
+fn collect_defs(e: &RExpr, defs: &mut HashMap<u32, usize>, touched: &mut HashSet<u32>) {
+    match e {
+        RExpr::GlobalDef(g, v) => {
+            if touched.insert(*g) {
+                if let RExpr::Lambda(l) = v.as_ref() {
+                    defs.insert(*g, std::rc::Rc::as_ptr(l) as usize);
+                }
+            } else {
+                defs.remove(g);
+            }
+            collect_defs(v, defs, touched);
+        }
+        RExpr::GlobalSet(g, v) => {
+            touched.insert(*g);
+            defs.remove(g);
+            collect_defs(v, defs, touched);
+        }
+        RExpr::LocalCellSet(_, v) | RExpr::FreeCellSet(_, v) => collect_defs(v, defs, touched),
+        RExpr::If(c, t, f) => {
+            collect_defs(c, defs, touched);
+            collect_defs(t, defs, touched);
+            collect_defs(f, defs, touched);
+        }
+        RExpr::Begin(es) => es.iter().for_each(|e| collect_defs(e, defs, touched)),
+        RExpr::Call(op, args) => {
+            collect_defs(op, defs, touched);
+            args.iter().for_each(|a| collect_defs(a, defs, touched));
+        }
+        RExpr::Lambda(l) => collect_defs(&l.body, defs, touched),
+        RExpr::Quote(_)
+        | RExpr::LocalRef(_)
+        | RExpr::LocalCellRef(_)
+        | RExpr::FreeRef(_)
+        | RExpr::FreeCellRef(_)
+        | RExpr::GlobalRef(_) => {}
+    }
+}
+
+impl Analyzer<'_> {
+    /// Registers a lambda's body as an analyzed body and walks it.
+    fn register(&mut self, l: &std::rc::Rc<RLambda>) {
+        let ptr = std::rc::Rc::as_ptr(l) as usize;
+        if self.body_ix.contains_key(&ptr) {
+            return;
+        }
+        let ix = self.bodies.len();
+        self.bodies.push(BodyInfo { sites: Vec::new() });
+        self.body_ix.insert(ptr, ix);
+        self.walk(ix, &l.body, PARAM_BASE + l.nparams, true);
+    }
+
+    /// Mirrors `Gen::gen`/`Gen::gen_tail`'s watermark arithmetic: `wm` is
+    /// the displacement a call site at this position would be emitted at.
+    fn walk(&mut self, body: usize, e: &RExpr, wm: u16, tail: bool) {
+        match e {
+            RExpr::Quote(_)
+            | RExpr::LocalRef(_)
+            | RExpr::LocalCellRef(_)
+            | RExpr::FreeRef(_)
+            | RExpr::FreeCellRef(_)
+            | RExpr::GlobalRef(_) => {}
+            RExpr::LocalCellSet(_, v)
+            | RExpr::FreeCellSet(_, v)
+            | RExpr::GlobalSet(_, v)
+            | RExpr::GlobalDef(_, v) => self.walk(body, v, wm, false),
+            RExpr::If(c, t, f) => {
+                self.walk(body, c, wm, false);
+                self.walk(body, t, wm, tail);
+                self.walk(body, f, wm, tail);
+            }
+            RExpr::Begin(es) => {
+                let Some((last, init)) = es.split_last() else { return };
+                for e in init {
+                    self.walk(body, e, wm, false);
+                }
+                self.walk(body, last, wm, tail);
+            }
+            RExpr::Lambda(l) => self.register(l),
+            RExpr::Call(op, args) => {
+                let nargs = args.len() as u16;
+                let d = if tail { wm.max(1 + nargs) } else { wm };
+                self.walk(body, op, d + 1, false);
+                for (j, a) in args.iter().enumerate() {
+                    self.walk(body, a, d + 2 + j as u16, false);
+                }
+                let target = match op.as_ref() {
+                    RExpr::Lambda(l) => RawTarget::Lambda(std::rc::Rc::as_ptr(l) as usize),
+                    RExpr::GlobalRef(g) => RawTarget::Global(*g),
+                    _ => RawTarget::Unknown,
+                };
+                self.bodies[body].sites.push(SiteRec { key: node_key(e), d, tail, target });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::Globals;
+    use crate::expand::Expander;
+    use crate::reader::read_all;
+    use crate::resolve::resolve_toplevel;
+
+    /// Resolves a whole program (multiple forms become one `begin`).
+    fn resolved(src: &str, install_prims: bool) -> (RExpr, Globals) {
+        let data = read_all(src).unwrap();
+        let datum = if data.len() == 1 {
+            data.into_iter().next().unwrap()
+        } else {
+            let mut items = vec![Value::Sym(crate::intern::Symbol::intern("begin"))];
+            items.extend(data);
+            Value::list(items)
+        };
+        let mut globals = Globals::new();
+        if install_prims {
+            crate::primitives::install(&mut globals);
+        }
+        let ast = Expander::new().expand_toplevel(&datum).unwrap();
+        let r = resolve_toplevel(&ast, &mut globals).unwrap();
+        (r, globals)
+    }
+
+    fn decisions(src: &str) -> InterprocDecisions {
+        let (r, globals) = resolved(src, true);
+        analyze(&r, &globals, 64)
+    }
+
+    #[test]
+    fn prim_body_helper_called_through_stable_global_is_elided() {
+        // helper's body only tail-calls a primitive → A(helper) = 0, so
+        // the non-tail site (helper x) inside driver is elidable even
+        // though the base analysis can't see through the global.
+        let d = decisions(
+            "(define (helper x) (+ x 1))
+             (define (driver x) (* 2 (helper x)))
+             (driver 5)",
+        );
+        assert_eq!(d.elided_sites(), 1, "exactly the (helper x) site");
+    }
+
+    #[test]
+    fn two_level_helper_chain_is_elided() {
+        let d = decisions(
+            "(define (leafy x) (+ x 1))
+             (define (mid x) (* (leafy x) 2))
+             (define (top x) (- (mid x) 1))
+             (top 5)",
+        );
+        // (leafy x) inside mid and (mid x) inside top both prove bounded.
+        assert_eq!(d.elided_sites(), 2);
+    }
+
+    #[test]
+    fn self_recursion_is_unbounded() {
+        let d = decisions(
+            "(define (f n) (if (< n 1) 0 (+ n (f (- n 1)))))
+             (f 5)",
+        );
+        assert_eq!(d.elided_sites(), 0, "recursive height is infinite");
+    }
+
+    #[test]
+    fn mutual_recursion_is_unbounded() {
+        let d = decisions(
+            "(define (even? n) (if (= n 0) #t (odd? (- n 1))))
+             (define (odd? n) (if (= n 0) #f (even? (not-quite (- n 1)))))
+             (define (not-quite x) (+ x 0))
+             (even? 4)",
+        );
+        // Every call into the even?/odd? cycle is unbounded (the tail
+        // sites through the cycle give both procedures A=∞). The only
+        // non-tail known site outside the cycle is (not-quite ...), whose
+        // callee is a finite-height leaf, so exactly that one is elided.
+        assert_eq!(d.elided_sites(), 1, "only the not-quite site");
+    }
+
+    #[test]
+    fn higher_order_operator_bails_out() {
+        let d = decisions(
+            "(define (use f x) (+ (f x) 1))
+             (use car '(1 2))",
+        );
+        assert_eq!(d.elided_sites(), 0, "computed operator is unknown");
+    }
+
+    #[test]
+    fn tail_call_to_unknown_poisons_the_caller_transitively() {
+        // leak tail-calls its argument: unknown tail target → A(leak)=∞,
+        // so the non-tail (leak f) site cannot be elided.
+        let d = decisions(
+            "(define (leak f) (f))
+             (define (driver f) (+ 1 (leak f)))
+             (driver (lambda () 0))",
+        );
+        assert_eq!(d.elided_sites(), 0);
+    }
+
+    #[test]
+    fn call_cc_poisons_both_height_and_body() {
+        let d = decisions(
+            "(define (snap k) (+ 1 2))
+             (define (capture) (call-with-current-continuation snap))
+             (define (driver) (+ (capture) (snap 0)))
+             (driver)",
+        );
+        // capture's body is poisoned (A=∞) so (capture) is not elided;
+        // (snap 0) inside driver targets a prim-leaf body and is.
+        assert_eq!(d.elided_sites(), 1);
+    }
+
+    #[test]
+    fn set_banged_global_is_not_a_known_target() {
+        let d = decisions(
+            "(define (helper x) (+ x 1))
+             (define (driver x) (* 2 (helper x)))
+             (set! helper (lambda (x) (driver x)))
+             (driver 5)",
+        );
+        assert_eq!(d.elided_sites(), 0, "assignment revokes the stable define");
+    }
+
+    #[test]
+    fn redefined_global_is_not_a_known_target() {
+        let d = decisions(
+            "(define (helper x) (+ x 1))
+             (define (driver x) (* 2 (helper x)))
+             (define (helper x) (driver x))
+             (driver 5)",
+        );
+        assert_eq!(d.elided_sites(), 0, "second define revokes the first");
+    }
+
+    #[test]
+    fn previously_bound_global_is_not_a_known_target() {
+        // `car` is bound (to a primitive) before this unit runs, so the
+        // unit's own define is not the only binding that can be live at
+        // the site — the analysis must refuse it.
+        let d = decisions(
+            "(define (car x) x)
+             (define (driver x) (+ 1 (car x)))
+             (driver 5)",
+        );
+        assert_eq!(d.elided_sites(), 0);
+    }
+
+    #[test]
+    fn deep_known_chains_exceeding_the_bound_are_rejected() {
+        // Each hop adds its displacement; a chain long enough to overrun
+        // one frame bound must stop proving sites near the top. With 40
+        // params per frame, two nested hops already exceed B = 64.
+        let args: Vec<String> = (0..40).map(|i| format!("a{i}")).collect();
+        let params = args.join(" ");
+        let ones = vec!["1"; 40].join(" ");
+        let src = format!(
+            "(define (lvl0 {params}) (+ a0 1))
+             (define (lvl1 {params}) (+ 1 (lvl0 {ones})))
+             (define (lvl2 {params}) (+ 1 (lvl1 {ones})))
+             (lvl2 {ones})"
+        );
+        let d = decisions(&src);
+        // (lvl0 ...) inside lvl1 is at displacement ≥ 42 with A(lvl0)=0 →
+        // elided. (lvl1 ...) inside lvl2 is at displacement ≥ 42 with
+        // A(lvl1) ≥ 42 → rejected.
+        assert_eq!(d.elided_sites(), 1);
+    }
+
+    #[test]
+    fn direct_lambda_operators_are_known_targets() {
+        // A non-leaf direct lambda (its body calls a known helper): base
+        // elision can't prove it, the interprocedural gate can.
+        let d = decisions(
+            "(define (helper x) (+ x 1))
+             (define (driver x) (+ 1 ((lambda (y) (helper y)) x)))
+             (driver 5)",
+        );
+        // Sites: ((lambda (y) ...) x) — known lambda, A = A(helper) = 0 →
+        // elided; (helper y) is a *tail* site inside the lambda (no check
+        // to elide).
+        assert_eq!(d.elided_sites(), 1);
+    }
+}

@@ -43,6 +43,7 @@ mod codegen;
 mod error;
 pub mod expand;
 mod intern;
+mod interproc;
 pub mod lexer;
 mod machine;
 pub mod macros;
@@ -53,10 +54,11 @@ pub mod resolve;
 mod value;
 mod vm;
 
-pub use code::{Chunk, CodeStore, Globals, Instr, VerifyError};
+pub use code::{Check, Chunk, CodeStore, Globals, IcSlot, IcTarget, Instr, VerifyError};
 pub use codegen::{compile_toplevel, CheckPolicy, CompileOptions};
 pub use error::{SchemeError, SourcePos};
 pub use intern::Symbol;
+pub use interproc::{analyze, InterprocDecisions};
 pub use machine::{Engine, EngineBuilder};
 pub use reader::{read_all, read_one};
 pub use value::{Closure, Displayed, Pair, Primitive, Value};

@@ -38,6 +38,7 @@ pub struct EngineBuilder {
     config: Config,
     policy: CheckPolicy,
     stable_primitive_bindings: bool,
+    interprocedural_elision: bool,
     max_steps: Option<u64>,
     prelude: bool,
     trace_sink: Option<Rc<RefCell<RingSink>>>,
@@ -50,6 +51,7 @@ impl Default for EngineBuilder {
             config: Config::default(),
             policy: CheckPolicy::default(),
             stable_primitive_bindings: false,
+            interprocedural_elision: false,
             max_steps: None,
             prelude: true,
             trace_sink: None,
@@ -84,6 +86,17 @@ impl EngineBuilder {
     /// [`CompileOptions::stable_primitive_bindings`].
     pub fn stable_primitive_bindings(mut self, stable: bool) -> Self {
         self.stable_primitive_bindings = stable;
+        self
+    }
+
+    /// Enables the interprocedural bounded-depth analysis: under
+    /// [`CheckPolicy::Elide`], overflow checks are also skipped at call
+    /// sites whose whole callee subgraph provably fits in the two-frame
+    /// reserve. Carries the same binding-stability promise as
+    /// [`EngineBuilder::stable_primitive_bindings`] for the globals the
+    /// analysis resolves. See [`CompileOptions::interprocedural_elision`].
+    pub fn interprocedural_elision(mut self, on: bool) -> Self {
+        self.interprocedural_elision = on;
         self
     }
 
@@ -122,15 +135,25 @@ impl EngineBuilder {
         let store = Rc::new(CodeStore::new());
         let mut globals = Globals::new();
         primitives::install(&mut globals);
-        let stack: Box<dyn ControlStack<Value>> = match (self.trace_sink, self.strategy) {
-            (Some(sink), Strategy::Segmented) => {
-                Box::new(SegmentedStack::<Value, Rc<RefCell<RingSink>>>::with_sink(
-                    self.config.clone(),
-                    store.clone(),
-                    sink,
-                )?)
+        let stack = match (self.trace_sink, self.strategy) {
+            (Some(sink), Strategy::Segmented) => EngineStack::Dyn(Box::new(SegmentedStack::<
+                Value,
+                Rc<RefCell<RingSink>>,
+            >::with_sink(
+                self.config.clone(),
+                store.clone(),
+                sink,
+            )?)),
+            // The untraced segmented stack — the default configuration and
+            // the one every benchmark's hot path runs on — is held
+            // concretely so the interpreter loop monomorphizes over it
+            // (static dispatch on every push/pop/check).
+            (None, Strategy::Segmented) => {
+                EngineStack::Seg(Box::new(SegmentedStack::new(self.config.clone(), store.clone())?))
             }
-            _ => self.strategy.build::<Value>(self.config.clone(), store.clone())?,
+            _ => {
+                EngineStack::Dyn(self.strategy.build::<Value>(self.config.clone(), store.clone())?)
+            }
         };
         let vm_opts =
             VmOptions { max_steps: self.max_steps, frame_bound: self.config.frame_bound() };
@@ -138,6 +161,7 @@ impl EngineBuilder {
             policy: self.policy,
             frame_bound: self.config.frame_bound(),
             stable_primitive_bindings: self.stable_primitive_bindings,
+            interprocedural_elision: self.interprocedural_elision,
         };
         let mut engine = Engine {
             strategy: self.strategy,
@@ -155,6 +179,33 @@ impl EngineBuilder {
             engine.out.clear();
         }
         Ok(engine)
+    }
+}
+
+/// The engine's control stack: the default segmented strategy is stored
+/// concretely so the VM monomorphizes over it; every other configuration
+/// (baseline strategies, traced segmented) goes through dynamic dispatch.
+enum EngineStack {
+    /// Untraced segmented stack, statically dispatched (boxed only to keep
+    /// the enum small; the VM still monomorphizes over the concrete type).
+    Seg(Box<SegmentedStack<Value>>),
+    /// Any other strategy (or a traced segmented stack), type-erased.
+    Dyn(Box<dyn ControlStack<Value>>),
+}
+
+impl EngineStack {
+    fn as_dyn(&self) -> &dyn ControlStack<Value> {
+        match self {
+            EngineStack::Seg(s) => &**s,
+            EngineStack::Dyn(s) => &**s,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn ControlStack<Value> {
+        match self {
+            EngineStack::Seg(s) => &mut **s,
+            EngineStack::Dyn(s) => &mut **s,
+        }
     }
 }
 
@@ -180,7 +231,7 @@ pub struct Engine {
     strategy: Strategy,
     store: Rc<CodeStore>,
     globals: Globals,
-    stack: Box<dyn ControlStack<Value>>,
+    stack: EngineStack,
     expander: Expander,
     out: String,
     timer: TimerState,
@@ -243,17 +294,31 @@ impl Engine {
             &mut self.globals,
             &self.copts,
         )?;
-        match run(
-            &mut *self.stack,
-            &self.store,
-            &mut self.globals,
-            &mut self.out,
-            &mut self.timer,
-            &self.vm_opts,
-            &mut self.expander,
-            &self.copts,
-            chunk,
-        ) {
+        let result = match &mut self.stack {
+            EngineStack::Seg(stack) => run(
+                &mut **stack,
+                &self.store,
+                &mut self.globals,
+                &mut self.out,
+                &mut self.timer,
+                &self.vm_opts,
+                &mut self.expander,
+                &self.copts,
+                chunk,
+            ),
+            EngineStack::Dyn(stack) => run(
+                &mut **stack,
+                &self.store,
+                &mut self.globals,
+                &mut self.out,
+                &mut self.timer,
+                &self.vm_opts,
+                &mut self.expander,
+                &self.copts,
+                chunk,
+            ),
+        };
+        match result {
             Ok(v) => Ok(v),
             Err(e) => {
                 // Walk the stack before resetting it so runtime errors carry
@@ -272,7 +337,7 @@ impl Engine {
                     }
                     other => other,
                 };
-                self.stack.reset();
+                self.stack.as_dyn_mut().reset();
                 self.timer = TimerState::default();
                 Err(e)
             }
@@ -285,6 +350,7 @@ impl Engine {
     /// exist for (§3).
     pub fn backtrace(&self, limit: usize) -> Vec<String> {
         self.stack
+            .as_dyn()
             .backtrace(limit)
             .into_iter()
             .map(|ra| self.store.chunk(ra.chunk()).name.clone())
@@ -338,22 +404,22 @@ impl Engine {
 
     /// Control-stack operation counters.
     pub fn metrics(&self) -> &Metrics {
-        self.stack.metrics()
+        self.stack.as_dyn().metrics()
     }
 
     /// Zeroes the operation counters (e.g. after warmup).
     pub fn reset_metrics(&mut self) {
-        self.stack.metrics_mut().reset();
+        self.stack.as_dyn_mut().metrics_mut().reset();
     }
 
     /// Control-stack structural snapshot.
     pub fn stack_stats(&self) -> StackStats {
-        self.stack.stats()
+        self.stack.as_dyn().stats()
     }
 
     /// Resets the control stack to an empty initial state.
     pub fn reset_stack(&mut self) {
-        self.stack.reset();
+        self.stack.as_dyn_mut().reset();
     }
 
     /// Static frame sizes of every chunk compiled so far (experiment E14).
@@ -402,7 +468,7 @@ impl Engine {
 
     /// Direct access to the control stack (instrumentation, tests).
     pub fn stack_mut(&mut self) -> &mut dyn ControlStack<Value> {
-        &mut *self.stack
+        self.stack.as_dyn_mut()
     }
 }
 

@@ -78,6 +78,62 @@ pub fn def_of(p: Primitive) -> &'static PrimDef {
     &PRIMITIVES[p.0 as usize]
 }
 
+/// Fixnum fast-path operation for a two-argument arithmetic/comparison
+/// primitive, dispatched by the inline-cached call superinstructions
+/// without entering the generic primitive function.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FastOp {
+    /// No fast path; run the primitive's general function.
+    #[default]
+    None,
+    /// `(+ a b)` — checked fixnum add.
+    Add2,
+    /// `(- a b)` — checked fixnum subtract.
+    Sub2,
+    /// `(* a b)` — checked fixnum multiply.
+    Mul2,
+    /// `(< a b)` on two fixnums.
+    Lt2,
+    /// `(<= a b)` on two fixnums.
+    Le2,
+    /// `(> a b)` on two fixnums.
+    Gt2,
+    /// `(>= a b)` on two fixnums.
+    Ge2,
+    /// `(= a b)` on two fixnums.
+    NumEq2,
+}
+
+/// The fixnum fast path for primitive `p` applied to `nargs` arguments
+/// (`FastOp::None` when there is none). Overflow and non-fixnum operands
+/// fall back to the general function, so observable semantics — including
+/// the `fixnum overflow` error — are unchanged.
+pub fn fast_op(p: Primitive, nargs: u16) -> FastOp {
+    if nargs != 2 {
+        return FastOp::None;
+    }
+    match def_of(p).name {
+        "+" => FastOp::Add2,
+        "-" => FastOp::Sub2,
+        "*" => FastOp::Mul2,
+        "<" => FastOp::Lt2,
+        "<=" => FastOp::Le2,
+        ">" => FastOp::Gt2,
+        ">=" => FastOp::Ge2,
+        "=" => FastOp::NumEq2,
+        _ => FastOp::None,
+    }
+}
+
+/// Whether `nargs` is a valid argument count for primitive `p` (the
+/// inline cache only caches primitives at sites whose fixed argument
+/// count already passed this, so hits skip the arity check).
+pub fn arity_ok(p: Primitive, nargs: u16) -> bool {
+    let def = def_of(p);
+    let n = nargs as usize;
+    n >= def.min_args && def.max_args.is_none_or(|m| n <= m)
+}
+
 /// Defines every primitive in the global table.
 pub fn install(globals: &mut crate::code::Globals) {
     for (i, def) in PRIMITIVES.iter().enumerate() {

@@ -18,13 +18,19 @@ use std::rc::Rc;
 
 use segstack_core::{CodeAddr, ControlStack, ReturnAddress};
 
-use crate::code::{Chunk, CodeStore, Globals, Instr};
+use crate::code::{Check, Chunk, CodeStore, Globals, IcTarget, Instr};
 use crate::codegen::{compile_toplevel, CompileOptions};
 use crate::error::SchemeError;
 use crate::expand::Expander;
 use crate::intern::Symbol;
-use crate::primitives::{def_of, PrimCtx, PrimKind, PRIMITIVES};
+use crate::primitives::{arity_ok, def_of, fast_op, FastOp, PrimCtx, PrimKind, PRIMITIVES};
 use crate::value::{Closure, Primitive, Value};
+
+/// Primitive calls with at most this many arguments marshal them through a
+/// stack-allocated buffer instead of a fresh `Vec` — fixnum/bool-heavy
+/// loops call `+`/`<`/`car` millions of times and the per-call allocation
+/// dominates otherwise.
+const PRIM_ARG_BUF: usize = 8;
 
 /// VM execution limits and knobs.
 #[derive(Clone, Debug)]
@@ -59,8 +65,8 @@ pub struct TimerState {
 /// Any [`SchemeError`] raised by the program, plus stack errors and the
 /// step-budget guard.
 #[allow(clippy::too_many_arguments)]
-pub fn run(
-    stack: &mut dyn ControlStack<Value>,
+pub fn run<S: ControlStack<Value> + ?Sized>(
+    stack: &mut S,
     store: &CodeStore,
     globals: &mut Globals,
     out: &mut String,
@@ -89,8 +95,8 @@ pub fn run(
     vm.run()
 }
 
-struct Vm<'a> {
-    stack: &'a mut dyn ControlStack<Value>,
+struct Vm<'a, S: ControlStack<Value> + ?Sized> {
+    stack: &'a mut S,
     store: &'a CodeStore,
     globals: &'a mut Globals,
     out: &'a mut String,
@@ -105,7 +111,7 @@ struct Vm<'a> {
     steps: u64,
 }
 
-impl Vm<'_> {
+impl<S: ControlStack<Value> + ?Sized> Vm<'_, S> {
     fn jump(&mut self, addr: CodeAddr) {
         if addr.chunk() != self.chunk_id {
             self.chunk = self.store.chunk(addr.chunk());
@@ -299,7 +305,214 @@ impl Vm<'_> {
                         return Ok(v);
                     }
                 }
+                Instr::Move { src, dst } => {
+                    let v = self.stack.get(src as usize);
+                    self.stack.set(dst as usize, v);
+                    self.stack.metrics_mut().superinstructions_dispatched += 1;
+                    self.pc += 1;
+                }
+                Instr::FixStage { n, dst } => {
+                    self.stack.set(dst as usize, Value::Fixnum(n));
+                    self.stack.metrics_mut().superinstructions_dispatched += 1;
+                    self.pc += 1;
+                }
+                Instr::GlobalStage { g, dst } => {
+                    let v = self.globals.get(g)?;
+                    self.stack.set(dst as usize, v);
+                    self.stack.metrics_mut().superinstructions_dispatched += 1;
+                    self.pc += 1;
+                }
+                Instr::CallGlobal { g, ic, d, nargs, check } => {
+                    if self.timer_fires()? {
+                        continue;
+                    }
+                    if let Some(v) = self.call_global(g, ic, d, nargs, check, None)? {
+                        return Ok(v);
+                    }
+                }
+                Instr::CallGlobalBr { g, ic, d, nargs, check, target } => {
+                    if self.timer_fires()? {
+                        continue;
+                    }
+                    if let Some(v) = self.call_global(g, ic, d, nargs, check, Some(target))? {
+                        return Ok(v);
+                    }
+                }
+                Instr::TailCallGlobal { g, ic, src, nargs } => {
+                    if self.timer_fires()? {
+                        continue;
+                    }
+                    if let Some(v) = self.tail_call_global(g, ic, src, nargs)? {
+                        return Ok(v);
+                    }
+                }
             }
+        }
+    }
+
+    /// Dispatches an inline-cached non-tail call to global `g`. On a
+    /// primitive hit the operator is never staged and the primitive runs
+    /// without the generic `Value` dispatch; on a closure hit (matching
+    /// arity) the arity adjustment is skipped. Anything else falls back
+    /// to the generic path with the operator staged, exactly like
+    /// `Instr::Call` — including in the fused-branch layout, where the
+    /// return point is the real `JumpIfFalse`.
+    fn call_global(
+        &mut self,
+        g: u32,
+        ic: u32,
+        d: u16,
+        nargs: u16,
+        check: Check,
+        br: Option<u32>,
+    ) -> Result<Option<Value>, SchemeError> {
+        self.stack.metrics_mut().superinstructions_dispatched += 1;
+        let ver = self.globals.version(g);
+        let slot = &self.chunk.ics[ic as usize];
+        if slot.version.get() == ver {
+            match slot.target.get() {
+                IcTarget::Prim { p, fast } => {
+                    self.stack.metrics_mut().ic_hits += 1;
+                    self.acc = self.run_prim_fast(Primitive(p), fast, d as usize + 2, nargs)?;
+                    match br {
+                        None => self.pc += 2,
+                        // Fused test+branch: skip the FrameSize word and
+                        // the JumpIfFalse, branching directly.
+                        Some(_) if self.acc.is_truthy() => self.pc += 3,
+                        Some(t) => self.pc = t as usize,
+                    }
+                    return Ok(None);
+                }
+                IcTarget::Closure { chunk, nparams, variadic } if !variadic && nparams == nargs => {
+                    self.stack.metrics_mut().ic_hits += 1;
+                    let opv = self.globals.get(g)?;
+                    self.stack.set(d as usize + 1, opv);
+                    if check == Check::ElidedInterproc {
+                        self.stack.metrics_mut().checks_elided_interproc += 1;
+                    }
+                    let ret = CodeAddr::new(self.chunk_id, self.pc as u32 + 2);
+                    self.stack.call(d as usize, ret, 1 + nargs as usize, check.performs_check())?;
+                    self.enter_chunk(chunk);
+                    return Ok(None);
+                }
+                _ => {}
+            }
+        }
+        self.stack.metrics_mut().ic_misses += 1;
+        let op = self.globals.get(g)?;
+        self.fill_ic(ic, ver, &op, nargs);
+        self.stack.set(d as usize + 1, op.clone());
+        self.call_with_op(op, d, nargs, check)
+    }
+
+    /// Dispatches an inline-cached tail call to global `g`.
+    fn tail_call_global(
+        &mut self,
+        g: u32,
+        ic: u32,
+        src: u16,
+        nargs: u16,
+    ) -> Result<Option<Value>, SchemeError> {
+        self.stack.metrics_mut().superinstructions_dispatched += 1;
+        let ver = self.globals.version(g);
+        let slot = &self.chunk.ics[ic as usize];
+        if slot.version.get() == ver {
+            match slot.target.get() {
+                IcTarget::Prim { p, fast } => {
+                    self.stack.metrics_mut().ic_hits += 1;
+                    self.acc = self.run_prim_fast(Primitive(p), fast, src as usize + 1, nargs)?;
+                    return self.do_return();
+                }
+                IcTarget::Closure { chunk, nparams, variadic } if !variadic && nparams == nargs => {
+                    self.stack.metrics_mut().ic_hits += 1;
+                    let opv = self.globals.get(g)?;
+                    self.stack.set(src as usize, opv);
+                    self.stack.tail_call(src as usize, 1 + nargs as usize);
+                    self.enter_chunk(chunk);
+                    return Ok(None);
+                }
+                _ => {}
+            }
+        }
+        self.stack.metrics_mut().ic_misses += 1;
+        let op = self.globals.get(g)?;
+        self.fill_ic(ic, ver, &op, nargs);
+        self.stack.set(src as usize, op.clone());
+        self.tail_with_op(op, src, nargs)
+    }
+
+    /// Fills an inline-cache slot from the operator just looked up.
+    /// Primitives are cached only when `Normal` and arity-valid for this
+    /// site's fixed argument count (so hits skip both checks); anything
+    /// uncacheable records `Empty` and keeps taking the generic path.
+    fn fill_ic(&mut self, ic: u32, ver: u32, op: &Value, nargs: u16) {
+        let target = match op {
+            Value::Primitive(p)
+                if matches!(def_of(*p).kind, PrimKind::Normal(_)) && arity_ok(*p, nargs) =>
+            {
+                IcTarget::Prim { p: p.0, fast: fast_op(*p, nargs) }
+            }
+            Value::Closure(c) => {
+                IcTarget::Closure { chunk: c.chunk, nparams: c.nparams, variadic: c.variadic }
+            }
+            _ => IcTarget::Empty,
+        };
+        let slot = &self.chunk.ics[ic as usize];
+        slot.version.set(ver);
+        slot.target.set(target);
+    }
+
+    /// Runs a cached normal primitive: arity was validated at cache-fill
+    /// time, and two-fixnum arithmetic/comparison runs without touching
+    /// the general function. Overflow and non-fixnum operands fall back,
+    /// so observable semantics match `run_primitive` exactly.
+    fn run_prim_fast(
+        &mut self,
+        p: Primitive,
+        fast: FastOp,
+        argbase: usize,
+        nargs: u16,
+    ) -> Result<Value, SchemeError> {
+        // Primitives are leaf routines: no frame, no overflow check (§5).
+        self.stack.metrics_mut().checks_elided += 1;
+        if fast != FastOp::None {
+            let a = self.stack.get(argbase);
+            let b = self.stack.get(argbase + 1);
+            if let (Value::Fixnum(x), Value::Fixnum(y)) = (&a, &b) {
+                let (x, y) = (*x, *y);
+                let r = match fast {
+                    FastOp::Add2 => x.checked_add(y).map(Value::Fixnum),
+                    FastOp::Sub2 => x.checked_sub(y).map(Value::Fixnum),
+                    FastOp::Mul2 => x.checked_mul(y).map(Value::Fixnum),
+                    FastOp::Lt2 => Some(Value::Bool(x < y)),
+                    FastOp::Le2 => Some(Value::Bool(x <= y)),
+                    FastOp::Gt2 => Some(Value::Bool(x > y)),
+                    FastOp::Ge2 => Some(Value::Bool(x >= y)),
+                    FastOp::NumEq2 => Some(Value::Bool(x == y)),
+                    FastOp::None => unreachable!(),
+                };
+                if let Some(v) = r {
+                    return Ok(v);
+                }
+            }
+            // Mixed types or fixnum overflow: the general function
+            // decides (flonum arithmetic or the overflow error).
+            let PrimKind::Normal(f) = &def_of(p).kind else { unreachable!() };
+            return f(&mut PrimCtx { out: self.out }, &[a, b]);
+        }
+        let PrimKind::Normal(f) = &def_of(p).kind else {
+            unreachable!("only normal primitives are cached")
+        };
+        if nargs as usize <= PRIM_ARG_BUF {
+            let mut buf: [Value; PRIM_ARG_BUF] = std::array::from_fn(|_| Value::Unspecified);
+            for (j, slot) in buf.iter_mut().enumerate().take(nargs as usize) {
+                *slot = self.stack.get(argbase + j);
+            }
+            f(&mut PrimCtx { out: self.out }, &buf[..nargs as usize])
+        } else {
+            let args: Vec<Value> =
+                (0..nargs as usize).map(|j| self.stack.get(argbase + j)).collect();
+            f(&mut PrimCtx { out: self.out }, &args)
         }
     }
 
@@ -420,10 +633,19 @@ impl Vm<'_> {
         let PrimKind::Normal(f) = &def_of(p).kind else {
             unreachable!("special primitives are dispatched before run_primitive")
         };
-        let args: Vec<Value> = (0..nargs as usize).map(|j| self.stack.get(argbase + j)).collect();
         // Primitives are leaf routines: no frame, no overflow check (§5).
         self.stack.metrics_mut().checks_elided += 1;
-        f(&mut PrimCtx { out: self.out }, &args)
+        if nargs as usize <= PRIM_ARG_BUF {
+            let mut buf: [Value; PRIM_ARG_BUF] = std::array::from_fn(|_| Value::Unspecified);
+            for (j, slot) in buf.iter_mut().enumerate().take(nargs as usize) {
+                *slot = self.stack.get(argbase + j);
+            }
+            f(&mut PrimCtx { out: self.out }, &buf[..nargs as usize])
+        } else {
+            let args: Vec<Value> =
+                (0..nargs as usize).map(|j| self.stack.get(argbase + j)).collect();
+            f(&mut PrimCtx { out: self.out }, &args)
+        }
     }
 
     /// Collects `apply`'s spread arguments: explicit middles plus the final
@@ -462,13 +684,16 @@ impl Vm<'_> {
         op: Value,
         d: u16,
         nargs: u16,
-        check: bool,
+        check: Check,
     ) -> Result<Option<Value>, SchemeError> {
         let ret = CodeAddr::new(self.chunk_id, self.pc as u32 + 2);
         match op {
             Value::Closure(c) => {
                 let eff = self.adjust_arity(&c, d as usize + 2, nargs)?;
-                self.stack.call(d as usize, ret, 1 + eff as usize, check)?;
+                if check == Check::ElidedInterproc {
+                    self.stack.metrics_mut().checks_elided_interproc += 1;
+                }
+                self.stack.call(d as usize, ret, 1 + eff as usize, check.performs_check())?;
                 self.enter_chunk(c.chunk);
                 Ok(None)
             }
@@ -482,7 +707,7 @@ impl Vm<'_> {
                     self.check_prim_arity(p, nargs)?;
                     let f = self.stack.get(d as usize + 2);
                     self.stack.set(d as usize + 1, f.clone());
-                    self.stack.call(d as usize, ret, 1, check)?;
+                    self.stack.call(d as usize, ret, 1, check.performs_check())?;
                     let k = match def_of(p).kind {
                         PrimKind::CallCC1 => self.stack.capture_one_shot(),
                         _ => self.stack.capture(),
@@ -540,7 +765,7 @@ impl Vm<'_> {
                     // Run the fresh chunk like a 0-parameter procedure: the
                     // frame is already staged (slot d+1 held the eval
                     // primitive; toplevel chunks never read their slot 1).
-                    self.stack.call(d as usize, ret, 1, check)?;
+                    self.stack.call(d as usize, ret, 1, check.performs_check())?;
                     self.enter_chunk(entry);
                     Ok(None)
                 }

@@ -46,6 +46,8 @@ const CORPUS: &[(&str, &str)] = &[
     ("fuzz-escape", include_str!("programs/fuzz_escape.scm")),
     ("fuzz-branchy", include_str!("programs/fuzz_branchy.scm")),
     ("fuzz-nested-k", include_str!("programs/fuzz_nested_k.scm")),
+    ("fuzz-ic-redefine", include_str!("programs/fuzz_ic_redefine.scm")),
+    ("fuzz-interproc-poison", include_str!("programs/fuzz_interproc_poison.scm")),
     ("deep-sum", "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1))))) (sum 30000)"),
     (
         "ackermann",
@@ -110,16 +112,24 @@ fn corpus_agrees_under_stress_config() {
 
 #[test]
 fn corpus_agrees_across_check_policies() {
-    // The overflow-check policy must never change results, only counters.
+    // The overflow-check policy — including the interprocedural elision
+    // pass — must never change results, only counters.
     for (name, src) in CORPUS {
         let mut results = Vec::new();
-        for policy in [CheckPolicy::Always, CheckPolicy::Elide] {
-            let mut e =
-                Engine::builder().check_policy(policy).max_steps(50_000_000).build().unwrap();
+        for (policy, interproc) in
+            [(CheckPolicy::Always, false), (CheckPolicy::Elide, false), (CheckPolicy::Elide, true)]
+        {
+            let mut e = Engine::builder()
+                .check_policy(policy)
+                .interprocedural_elision(interproc)
+                .max_steps(50_000_000)
+                .build()
+                .unwrap();
             let r = e.eval(src).map(|v| v.to_string()).map_err(|e| e.to_string());
-            results.push((policy, r));
+            results.push((policy, interproc, r));
         }
-        assert_eq!(results[0].1, results[1].1, "{name} diverges across check policies");
+        assert_eq!(results[0].2, results[1].2, "{name} diverges across check policies");
+        assert_eq!(results[1].2, results[2].2, "{name} diverges under interprocedural elision");
     }
 }
 
@@ -128,8 +138,13 @@ fn named_fuzz_regressions_have_stable_results() {
     // The checked-in regressions must keep evaluating to the same values:
     // a change here means evaluator semantics moved, not just the fuzzer.
     let cfg = default_cfg();
-    let expected: &[(&str, &str)] =
-        &[("fuzz-escape", "|1"), ("fuzz-branchy", "|40"), ("fuzz-nested-k", "|14")];
+    let expected: &[(&str, &str)] = &[
+        ("fuzz-escape", "|1"),
+        ("fuzz-branchy", "|40"),
+        ("fuzz-nested-k", "|14"),
+        ("fuzz-ic-redefine", "|(11 20 7 10 100)"),
+        ("fuzz-interproc-poison", "|(2026 done)"),
+    ];
     for (name, want) in expected {
         let (_, src) = CORPUS.iter().find(|(n, _)| n == name).unwrap();
         let got = run_on(Strategy::Segmented, &cfg, src).unwrap();

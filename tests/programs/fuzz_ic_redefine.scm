@@ -1,0 +1,18 @@
+; Regression for the inline-cache invalidation protocol: a global operator
+; is both redefined (define) and assigned (set!) between calls inside one
+; unit, so every cached call site must observe the new binding on its next
+; dispatch — including the comparison fused into a test+branch
+; superinstruction inside `count`, which flips from closure to closure.
+(define (f x) (+ x 1))
+(define (call-f n) (f n))
+(define a (call-f 10))         ; fills the cache: f -> closure (+1)
+(define (f x) (* x 2))         ; redefinition bumps the global's version
+(define b (call-f 10))
+(set! f (lambda (x) (- x 3)))  ; assignment bumps it again
+(define c (call-f 10))
+(define (lt? p q) (< p q))
+(define (count n acc)
+  (if (lt? n 1) acc (count (- n 1) (+ acc 1))))
+(define d (count 10 0))        ; caches lt? at the fused branch site
+(set! lt? (lambda (p q) #t))   ; now the loop exits immediately
+(list a b c d (count 3 100))

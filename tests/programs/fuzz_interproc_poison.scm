@@ -1,0 +1,18 @@
+; Regression for interprocedural check elision under continuations: the
+; sq/sumsq helper chain is bounded (so its call sites are elidable), but
+; `grab` captures a continuation, so grab's own body must stay poisoned and
+; keep its checks. Reinstating the continuation re-enters the rest of the
+; unit from depth 2000 — an unsound elision that under-reserved frames for
+; the helper chain would overflow past the reserve here.
+(define (sq x) (* x x))
+(define (sumsq a b) (+ (sq a) (sq b)))
+(define k #f)
+(define (grab x) (call/cc (lambda (c) (set! k c) (sumsq x 2))))
+(define (deep n)
+  (if (= n 0) (grab 3) (+ 1 (deep (- n 1)))))
+(define first (deep 2000))
+(define result
+  (if k
+      (let ((k0 k)) (set! k #f) (k0 (sumsq 5 1)))
+      'done))
+(list first result)

@@ -49,20 +49,21 @@ fn verifier_holds_under_every_check_policy() {
 
 #[test]
 fn verifier_catches_corruption() {
-    use segstack::scheme::{Chunk, CodeStore, Instr};
+    use segstack::scheme::{Check, Chunk, CodeStore, Instr};
     let store = CodeStore::new();
     store.add(Chunk {
         instrs: vec![
-            Instr::Call { d: 3, nargs: 1, check: true }, // no FrameSize words
-            Instr::Jump(99),                             // out of range
-            Instr::Const(0),                             // empty pool
-            Instr::LocalSet(50),                         // beyond frame size
+            Instr::Call { d: 3, nargs: 1, check: Check::Yes }, // no FrameSize words
+            Instr::Jump(99),                                   // out of range
+            Instr::Const(0),                                   // empty pool
+            Instr::LocalSet(50),                               // beyond frame size
         ],
         consts: vec![],
         nparams: 0,
         variadic: false,
         name: "bad".into(),
         frame_slots: 6,
+        ics: vec![],
     });
     let errors = store.verify();
     assert!(errors.len() >= 5, "found only {errors:?}");
